@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md
+§2).  The experiment profile is selected with the ``REPRO_BENCH_PROFILE``
+environment variable:
+
+* ``quick``  (default) — small datasets / budgets, finishes in a few minutes;
+* ``laptop`` — the full eight-dataset configuration used for EXPERIMENTS.md;
+* ``paper``  — the paper's original parameters (not practical in pure Python).
+
+Each benchmark prints the rendered table/series and also writes it to
+``benchmarks/output/<name>.txt`` so the artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import get_profile
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    return get_profile(name)
+
+
+@pytest.fixture(scope="session")
+def record_artifact():
+    """Return a callable that persists a rendered experiment artefact."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _record

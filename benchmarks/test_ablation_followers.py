@@ -1,0 +1,10 @@
+"""Benchmark: ablation of the GAS pipeline (BASE / BASE+ / GAS, follower methods)."""
+
+from repro.experiments.ablation import render_ablation, run_ablation
+
+
+def test_ablation_followers(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_ablation, args=(profile,), rounds=1, iterations=1)
+    record_artifact("ablation_followers", render_ablation(result))
+    full_graph_gains = {row["gain"] for row in result["rows"] if "small" not in row["variant"]}
+    assert len(full_graph_gains) == 1

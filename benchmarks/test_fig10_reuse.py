@@ -1,0 +1,10 @@
+"""Benchmark: Fig. 10 — proportion of reusable follower results in GAS."""
+
+from repro.experiments.fig10_reuse import render_fig10, run_fig10
+
+
+def test_fig10_reuse(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_fig10, args=(profile,), rounds=1, iterations=1)
+    record_artifact("fig10_reuse", render_fig10(result))
+    for payload in result["datasets"].values():
+        assert payload["FR"] >= 0.5

@@ -1,0 +1,11 @@
+"""Benchmark: Fig. 11 — gain distribution heatmaps (AKT grid, GAS followers)."""
+
+from repro.experiments.fig11_distribution import render_fig11, run_fig11
+
+
+def test_fig11_distribution(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_fig11, args=(profile,), rounds=1, iterations=1)
+    record_artifact("fig11_distribution", render_fig11(result))
+    budgets = result["budgets"]
+    gains = [result["gas_gain_per_budget"][b] for b in budgets]
+    assert gains == sorted(gains)

@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 5 — GAS vs the Exact solver on small extracted subgraphs."""
+
+from repro.experiments.fig5_exact import render_fig5, run_fig5
+
+
+def test_fig5_exact_comparison(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_fig5, args=(profile,), rounds=1, iterations=1)
+    record_artifact("fig5_exact", render_fig5(result))
+    for payload in result["datasets"].values():
+        series = payload["series"]
+        # GAS never beats the optimum and stays within a sensible fraction of it
+        for exact_gain, gas_gain in zip(series["exact_gain"], series["gas_gain"]):
+            assert gas_gain <= exact_gain
+        # ... while being much faster at the larger budgets
+        assert series["gas_seconds"][-1] <= series["exact_seconds"][-1]

@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 6 — trussness gain vs budget, GAS against Rand/Sup/Tur."""
+
+from repro.experiments.fig6_effectiveness import render_fig6, run_fig6
+
+
+def test_fig6_effectiveness(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_fig6, args=(profile,), rounds=1, iterations=1)
+    record_artifact("fig6_effectiveness", render_fig6(result))
+    for series in result["datasets"].values():
+        for index in range(len(result["budgets"])):
+            assert series["GAS"][index] >= series["Rand"][index]
+            assert series["GAS"][index] >= series["Sup"][index]
+            assert series["GAS"][index] >= series["Tur"][index]

@@ -1,0 +1,10 @@
+"""Benchmark: Fig. 7 — case study, GAS vs AKT vs edge deletion."""
+
+from repro.experiments.fig7_case_study import render_fig7, run_fig7
+
+
+def test_fig7_case_study(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_fig7, args=(profile,), rounds=1, iterations=1)
+    record_artifact("fig7_case_study", render_fig7(result))
+    assert result["gas"]["total"] >= result["edge_deletion"]["total"]
+    assert len(result["gas"]["by_trussness"]) >= len(result["akt"]["by_trussness"])

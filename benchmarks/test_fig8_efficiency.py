@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 8 — running time vs budget, GAS against BASE+."""
+
+from repro.experiments.fig8_efficiency import render_fig8, run_fig8
+
+
+def test_fig8_efficiency(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_fig8, args=(profile,), rounds=1, iterations=1)
+    record_artifact("fig8_efficiency", render_fig8(result))
+    for payload in result["datasets"].values():
+        # both solvers reach the same gain; times are monotone in b
+        assert payload["gain_check"][0] == payload["gain_check"][1]
+        gas_times = [t for t in payload["GAS"] if t != "-"]
+        assert gas_times == sorted(gas_times)

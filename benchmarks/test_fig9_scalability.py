@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 9 — scalability of GAS under vertex / edge sampling."""
+
+from repro.experiments.fig9_scalability import render_fig9, run_fig9
+
+
+def test_fig9_scalability(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_fig9, args=(profile,), rounds=1, iterations=1)
+    record_artifact("fig9_scalability", render_fig9(result))
+    for payload in result["datasets"].values():
+        for mode in ("vary_edges", "vary_vertices"):
+            assert payload[mode]["edge_ratio"] == sorted(payload[mode]["edge_ratio"])
+            assert all(t >= 0 for t in payload[mode]["seconds"])

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the core primitives (not tied to one paper artefact).
+
+These give per-operation timings for the building blocks the paper's
+complexity analysis talks about: truss decomposition, single-anchor follower
+search (the three methods), and truss-component-tree construction.
+"""
+
+import pytest
+
+from repro.core.component_tree import TrussComponentTree
+from repro.core.followers import (
+    followers_by_recompute,
+    followers_candidate_peel,
+    followers_support_check,
+)
+from repro.datasets import load_dataset
+from repro.truss.decomposition import truss_decomposition
+from repro.truss.state import TrussState
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("college")
+
+
+@pytest.fixture(scope="module")
+def state(graph):
+    return TrussState.compute(graph)
+
+
+@pytest.fixture(scope="module")
+def busiest_edge(state):
+    """The edge with the largest upward route (worst case for one search)."""
+    from repro.core.upward_route import upward_route_size
+
+    return max(state.graph.edges(), key=lambda e: upward_route_size(state, e))
+
+
+def test_truss_decomposition(benchmark, graph):
+    decomposition = benchmark(truss_decomposition, graph)
+    assert decomposition.k_max >= 3
+
+
+def test_component_tree_build(benchmark, state):
+    tree = benchmark(TrussComponentTree.build, state)
+    assert len(tree) > 0
+
+
+def test_followers_recompute(benchmark, state, busiest_edge):
+    followers = benchmark(followers_by_recompute, state, busiest_edge)
+    assert isinstance(followers, set)
+
+
+def test_followers_peel(benchmark, state, busiest_edge):
+    followers = benchmark(followers_candidate_peel, state, busiest_edge)
+    assert followers == followers_by_recompute(state, busiest_edge)
+
+
+def test_followers_support_check(benchmark, state, busiest_edge):
+    followers = benchmark(followers_support_check, state, busiest_edge)
+    assert followers == followers_by_recompute(state, busiest_edge)

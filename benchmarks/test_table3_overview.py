@@ -1,0 +1,10 @@
+"""Benchmark: Table III — dataset overview (gain of Rand/Sup/Tur/GAS, runtimes)."""
+
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def test_table3_overview(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_table3, args=(profile,), rounds=1, iterations=1)
+    record_artifact("table3_overview", render_table3(result))
+    for row in result["rows"]:
+        assert row["gain_gas"] >= max(row["gain_rand"], row["gain_sup"], row["gain_tur"])

@@ -1,0 +1,10 @@
+"""Benchmark: Table IV — upward-route size statistics per dataset."""
+
+from repro.experiments.table4_routes import render_table4, run_table4
+
+
+def test_table4_routes(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_table4, args=(profile,), rounds=1, iterations=1)
+    record_artifact("table4_routes", render_table4(result))
+    for row in result["rows"]:
+        assert 0 <= row["min_size"] <= row["max_size"] <= row["edges"]

@@ -1,0 +1,10 @@
+"""Benchmark: Table V — trussness gain of AKT relative to GAS."""
+
+from repro.experiments.table5_akt import render_table5, run_table5
+
+
+def test_table5_akt_vs_gas(benchmark, profile, record_artifact):
+    result = benchmark.pedantic(run_table5, args=(profile,), rounds=1, iterations=1)
+    record_artifact("table5_akt", render_table5(result))
+    for row in result["rows"]:
+        assert row["akt_avg_gain"] <= row["akt_max_gain"]

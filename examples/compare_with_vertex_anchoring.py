@@ -1,0 +1,64 @@
+"""Edge anchoring (this paper) versus vertex anchoring (AKT, ICDE 2018).
+
+The paper's Exp-9 compares the two reinforcement models.  This example runs
+both on the same community-structured network and prints
+
+* the trussness gain of GAS (edge anchors, global objective), and
+* the gain of greedy AKT for every feasible k (vertex anchors, fixed-k
+  objective), highlighting its best k,
+
+then breaks the GAS gain down by trussness level to illustrate the paper's
+point that edge anchoring reinforces the whole hierarchy rather than one
+level.
+
+Run with::
+
+    python examples/compare_with_vertex_anchoring.py
+"""
+
+from __future__ import annotations
+
+from repro import akt_greedy, gas
+from repro.datasets import load_dataset
+from repro.experiments.reporting import format_table
+from repro.truss import TrussState
+
+BUDGET = 4
+
+
+def main() -> None:
+    graph = load_dataset("gowalla")
+    state = TrussState.compute(graph)
+    print(
+        f"Network: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+        f"k_max = {state.k_max}"
+    )
+
+    print(f"\nGAS: anchoring {BUDGET} edges...")
+    gas_result = gas(graph, BUDGET)
+    print(f"  {gas_result.summary()}")
+
+    print(f"\nAKT: anchoring {BUDGET} vertices, one run per k...")
+    rows = []
+    hulls = state.decomposition.hulls()
+    for k in sorted(k + 1 for k in hulls if k >= 3):
+        anchors, gain = akt_greedy(graph, k, BUDGET, state, max_candidates=15)
+        rows.append([k, gain, anchors])
+    print(format_table(["k", "AKT gain", "anchored vertices"], rows))
+
+    best_akt = max((row[1] for row in rows), default=0)
+    print("\nSummary:")
+    print(f"  GAS trussness gain          : {gas_result.gain}")
+    print(f"  AKT trussness gain (best k) : {best_akt}")
+    print("  GAS gain per original trussness level:")
+    for level, count in gas_result.gain_by_trussness.items():
+        print(f"    trussness {level}: {count} edges lifted")
+    print(
+        "\nAKT concentrates its entire effect on a single trussness level (k-1 for "
+        "its best k), whereas the edge anchors of GAS lift edges across several "
+        "levels of the truss hierarchy — the behaviour shown in Fig. 11 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

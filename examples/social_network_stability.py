@@ -1,0 +1,73 @@
+"""Reinforcing a social network: which friendships keep communities stable?
+
+This is the paper's primary motivating scenario (Section I): a social
+network's engagement is modelled by the trussness of its relationships, and
+the platform can "anchor" a handful of relationships (e.g. by nurturing them
+with prompts, shared groups or events) so that the surrounding community
+structure survives churn.
+
+The script
+
+1. builds a synthetic social network with dense friendship circles and a
+   sparse periphery (the ``facebook`` stand-in of the dataset registry),
+2. runs GAS with a small budget and compares it against the random baselines
+   the paper uses (Rand, Sup, Tur),
+3. shows how the gain is distributed over the truss hierarchy, i.e. which
+   parts of the community structure were reinforced.
+
+Run with::
+
+    python examples/social_network_stability.py
+"""
+
+from __future__ import annotations
+
+from repro import gas, random_baseline, support_baseline, upward_route_baseline
+from repro.datasets import load_dataset
+from repro.experiments.reporting import format_table
+from repro.truss import TrussState
+
+BUDGET = 5
+REPETITIONS = 30
+
+
+def main() -> None:
+    graph = load_dataset("facebook")
+    state = TrussState.compute(graph)
+    print(
+        f"Social network stand-in: {graph.num_vertices} users, "
+        f"{graph.num_edges} friendships, k_max = {state.k_max}"
+    )
+
+    print(f"\nSelecting {BUDGET} relationships to anchor...")
+    results = [
+        gas(graph, BUDGET),
+        random_baseline(graph, BUDGET, repetitions=REPETITIONS, seed=1, baseline_state=state),
+        support_baseline(graph, BUDGET, repetitions=REPETITIONS, seed=2, baseline_state=state),
+        upward_route_baseline(graph, BUDGET, repetitions=REPETITIONS, seed=3, baseline_state=state),
+    ]
+
+    rows = [
+        [r.algorithm, r.gain, len(r.followers), round(r.elapsed_seconds, 2)] for r in results
+    ]
+    print()
+    print(format_table(["Method", "Trussness gain", "Edges lifted", "Time (s)"], rows))
+
+    best = results[0]
+    print("\nAnchored relationships (GAS):")
+    for edge in best.anchors:
+        print(f"  {edge}  (original trussness {state.trussness(edge)})")
+
+    print("\nWhere the reinforcement landed (original trussness -> edges lifted):")
+    for level, count in best.gain_by_trussness.items():
+        print(f"  trussness {level}: {count} edges now survive one more peeling level")
+
+    print(
+        "\nInterpretation: the anchored friendships sit on the peeling frontier of "
+        "their communities; keeping them active prevents a cascade of "
+        "disengagement among the relationships that depend on them."
+    )
+
+
+if __name__ == "__main__":
+    main()

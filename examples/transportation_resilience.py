@@ -1,0 +1,69 @@
+"""Reinforcing a transportation network against cascading degradation.
+
+The paper's second motivating application (Section I): in a road network,
+losing a few well-placed connections triggers cascading congestion.  The ATR
+model identifies the connections whose reinforcement (extra lanes, priority
+maintenance, protected corridors) stabilises the largest part of the network,
+where "stability" is measured by the trussness of the links.
+
+The script builds a grid-with-diagonals road network plus a few arterial
+shortcuts, runs GAS, and contrasts the anchored links with the links an
+importance-by-removal analysis (the edge-deletion baseline of the paper's
+case study) would have chosen.
+
+Run with::
+
+    python examples/transportation_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro import edge_deletion_baseline, gas
+from repro.experiments.reporting import format_table
+from repro.graph.generators import grid_with_shortcuts
+from repro.truss import TrussState
+
+BUDGET = 4
+
+
+def main() -> None:
+    network = grid_with_shortcuts(
+        rows=8, cols=10, diagonal_probability=0.7, shortcut_edges=25, seed=7
+    )
+    state = TrussState.compute(network)
+    print(
+        f"Road network: {network.num_vertices} intersections, "
+        f"{network.num_edges} road segments, k_max = {state.k_max}"
+    )
+
+    print(f"\nSelecting {BUDGET} segments to reinforce...")
+    gas_result = gas(network, BUDGET)
+    removal_result = edge_deletion_baseline(network, BUDGET, max_candidates=60)
+
+    rows = [
+        ["GAS (anchor for stability)", gas_result.gain, len(gas_result.followers)],
+        ["Removal-critical segments", removal_result.gain, len(removal_result.followers)],
+    ]
+    print()
+    print(format_table(["Strategy", "Trussness gain", "Segments stabilised"], rows))
+
+    print("\nSegments chosen by GAS (row*cols + col vertex ids):")
+    for edge in gas_result.anchors:
+        print(f"  {edge}")
+
+    print("\nSegments chosen by the removal-criticality analysis:")
+    for edge in removal_result.anchors:
+        print(f"  {edge}")
+
+    overlap = set(gas_result.anchors) & set(removal_result.anchors)
+    print(
+        f"\nOverlap between the two selections: {len(overlap)} of {BUDGET} — the two "
+        "notions of importance target different parts of the network, which is "
+        "exactly the observation of the paper's case study (Fig. 7): segments whose "
+        "removal hurts the most are already deeply embedded, while the best segments "
+        "to reinforce sit just below the peeling threshold of their neighbourhood."
+    )
+
+
+if __name__ == "__main__":
+    main()

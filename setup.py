@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only
+so that ``pip install -e .`` keeps working on offline machines whose
+setuptools/pip combination cannot build PEP-660 editable wheels (no ``wheel``
+package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — Anchor Trussness Reinforcement (ATR).
+
+A from-scratch Python reproduction of *"Enhance Stability of Network by Edge
+Anchor"* (ICDE 2025): the anchor trussness reinforcement problem, the GAS
+algorithm with upward-route follower search and truss-component-tree result
+reuse, all baselines the paper compares against, and a benchmark harness
+that regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import gas
+>>> from repro.graph import paper_figure3_graph
+>>> graph = paper_figure3_graph()
+>>> result = gas(graph, budget=1)
+>>> result.anchors
+[(9, 10)]
+>>> result.gain
+3
+"""
+
+from repro.core import (
+    AnchorResult,
+    FollowerMethod,
+    akt_greedy,
+    base_greedy,
+    base_plus_greedy,
+    compute_followers,
+    edge_deletion_baseline,
+    evaluate_anchor_set,
+    exact_atr,
+    gas,
+    random_baseline,
+    support_baseline,
+    upward_route_baseline,
+)
+from repro.core.component_tree import TrussComponentTree
+from repro.graph import Graph, read_edge_list, write_edge_list
+from repro.truss import TrussState, k_truss, truss_decomposition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "TrussState",
+    "TrussComponentTree",
+    "truss_decomposition",
+    "k_truss",
+    "compute_followers",
+    "FollowerMethod",
+    "gas",
+    "base_greedy",
+    "base_plus_greedy",
+    "exact_atr",
+    "random_baseline",
+    "support_baseline",
+    "upward_route_baseline",
+    "akt_greedy",
+    "edge_deletion_baseline",
+    "evaluate_anchor_set",
+    "AnchorResult",
+    "read_edge_list",
+    "write_edge_list",
+    "__version__",
+]

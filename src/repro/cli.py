@@ -1,0 +1,99 @@
+"""Command line interface (installed as ``repro-atr``).
+
+Sub-commands
+------------
+``datasets``
+    List the registered stand-in datasets with their Table III statistics.
+``solve``
+    Run an anchor-selection algorithm on a dataset or an edge-list file.
+``experiment``
+    Run one experiment of the harness (table3, fig5, ..., ablation).
+``report``
+    Run every experiment and print a combined report (the content of
+    EXPERIMENTS.md is produced this way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.gas import gas
+from repro.core.greedy import base_greedy, base_plus_greedy
+from repro.core.heuristics import random_baseline, support_baseline, upward_route_baseline
+from repro.datasets import DATASETS, dataset_statistics, load_dataset
+from repro.experiments.config import PROFILES, get_profile
+from repro.experiments.runner import available_experiments, run_all, run_experiment
+from repro.graph.io import read_edge_list
+
+_SOLVERS = {
+    "gas": gas,
+    "base": base_greedy,
+    "base+": base_plus_greedy,
+    "rand": random_baseline,
+    "sup": support_baseline,
+    "tur": upward_route_baseline,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-atr",
+        description="Anchor Trussness Reinforcement (ATR) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the registered stand-in datasets")
+
+    solve = sub.add_parser("solve", help="run an anchor-selection algorithm")
+    solve.add_argument("--dataset", choices=sorted(DATASETS), help="stand-in dataset name")
+    solve.add_argument("--edge-list", help="path to a SNAP-style edge list instead of a dataset")
+    solve.add_argument("--algorithm", choices=sorted(_SOLVERS), default="gas")
+    solve.add_argument("--budget", "-b", type=int, default=5)
+
+    experiment = sub.add_parser("experiment", help="run one experiment of the harness")
+    experiment.add_argument("name", choices=available_experiments())
+    experiment.add_argument("--profile", choices=sorted(PROFILES), default="laptop")
+
+    report = sub.add_parser("report", help="run every experiment and print a combined report")
+    report.add_argument("--profile", choices=sorted(PROFILES), default="laptop")
+    report.add_argument("--only", nargs="*", choices=available_experiments(), default=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "datasets":
+        for name in DATASETS:
+            print(dataset_statistics(name))
+        return 0
+
+    if args.command == "solve":
+        if bool(args.dataset) == bool(args.edge_list):
+            print("error: provide exactly one of --dataset or --edge-list", file=sys.stderr)
+            return 2
+        graph = load_dataset(args.dataset) if args.dataset else read_edge_list(args.edge_list)
+        solver = _SOLVERS[args.algorithm]
+        result = solver(graph, args.budget)
+        print(result.summary())
+        print("anchors:", result.anchors)
+        print("gain by original trussness:", result.gain_by_trussness)
+        return 0
+
+    if args.command == "experiment":
+        _result, text = run_experiment(args.name, get_profile(args.profile))
+        print(text)
+        return 0
+
+    if args.command == "report":
+        print(run_all(get_profile(args.profile), names=args.only))
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

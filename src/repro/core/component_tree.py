@@ -1,0 +1,215 @@
+"""Truss component tree (Section III-C, Algorithm 4 of the paper).
+
+The tree organises every non-anchored edge of the graph into nodes:
+
+* all edges of a node share the same trussness ``TN.K``;
+* the edges in the subtree rooted at a node induce a (TN.K)-truss component
+  (a maximal k-truss whose edges are pairwise triangle-connected);
+* the node id ``TN.I`` is the smallest edge id contained in the node, which
+  makes ids stable across rebuilds as long as the node's edge set does not
+  change.
+
+On top of the tree the *subtree adjacency* ``sla(e)`` is defined: the ids of
+the nodes that contain a neighbour-edge of ``e`` with trussness at least
+``t(e)``.  Lemma 4 states that the followers of an anchored edge are
+contained in the union of its ``sla`` nodes, which is what makes per-node
+caching of follower sets (GAS, Algorithm 6) possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.triangles import triangle_connected_components
+from repro.truss.state import TrussState
+from repro.utils.errors import InvalidEdgeError, InvalidParameterError
+
+
+@dataclass
+class TreeNode:
+    """One node of the truss component tree.
+
+    Attributes map one-to-one onto the paper's notation (Table II):
+    ``node_id`` is ``TN.I``, ``k`` is ``TN.K``, ``edges`` is ``TN.E``,
+    ``parent`` is ``TN.P`` (as a node id) and ``children`` is ``TN.C``.
+    """
+
+    node_id: int
+    k: int
+    edges: FrozenSet[Edge]
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+class TrussComponentTree:
+    """The truss component tree of a :class:`TrussState`."""
+
+    def __init__(
+        self,
+        nodes: Dict[int, TreeNode],
+        node_of_edge: Dict[Edge, int],
+        roots: List[int],
+        state: TrussState,
+    ) -> None:
+        self.nodes = nodes
+        self.node_of_edge = node_of_edge
+        self.roots = roots
+        self.state = state
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 4)
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, state: TrussState) -> "TrussComponentTree":
+        """Build the tree bottom-up over increasing trussness values.
+
+        The construction is equivalent to the recursive BuildTree of the
+        paper: for every trussness value ``k`` (in increasing order) the
+        triangle-connected components of the subgraph formed by all edges of
+        trussness ``>= k`` (anchored edges included, since they belong to
+        every truss) are computed; the trussness-k edges of each component
+        form one tree node whose parent is the node created for the
+        enclosing component at the previous trussness value.
+        """
+        graph = state.graph
+        trussness = state.decomposition.trussness
+        anchors = state.anchors
+
+        nodes: Dict[int, TreeNode] = {}
+        node_of_edge: Dict[Edge, int] = {}
+        roots: List[int] = []
+        # Deepest node created so far whose component contains the edge.
+        enclosing: Dict[Edge, Optional[int]] = {e: None for e in graph.edges()}
+
+        levels = sorted(set(trussness.values()))
+        for k in levels:
+            member_edges = [e for e, t in trussness.items() if t >= k]
+            member_edges.extend(anchors)
+            if not member_edges:
+                continue
+            components = triangle_connected_components(graph, member_edges)
+            for component in components:
+                level_edges = frozenset(
+                    e for e in component if e not in anchors and trussness[e] == k
+                )
+                if not level_edges:
+                    # No trussness-k edges here: the component surfaces again
+                    # at a deeper level; nothing to record now.
+                    continue
+                node_id = min(graph.edge_id(e) for e in level_edges)
+                parent_id = enclosing[next(iter(level_edges))]
+                node = TreeNode(node_id=node_id, k=k, edges=level_edges, parent=parent_id)
+                nodes[node_id] = node
+                if parent_id is None:
+                    roots.append(node_id)
+                else:
+                    nodes[parent_id].children.append(node_id)
+                for edge in level_edges:
+                    node_of_edge[edge] = node_id
+                for edge in component:
+                    enclosing[edge] = node_id
+        return cls(nodes=nodes, node_of_edge=node_of_edge, roots=roots, state=state)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node_of(self, edge: Edge) -> TreeNode:
+        """The tree node containing ``edge`` (``T[e]`` in the paper)."""
+        edge = normalize_edge(*edge)
+        try:
+            return self.nodes[self.node_of_edge[edge]]
+        except KeyError as exc:
+            raise InvalidEdgeError(edge, f"edge {edge!r} is not assigned to any tree node") from exc
+
+    def subtree_node_ids(self, node_id: int) -> List[int]:
+        """Ids of the subtree rooted at ``node_id`` (pre-order)."""
+        if node_id not in self.nodes:
+            raise InvalidParameterError(f"unknown tree node id {node_id}")
+        order: List[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            order.append(current)
+            stack.extend(self.nodes[current].children)
+        return order
+
+    def subtree_edges(self, node_id: int) -> Set[Edge]:
+        """All edges in the subtree rooted at ``node_id``.
+
+        By construction these induce a (TN.K)-truss component of the graph.
+        """
+        edges: Set[Edge] = set()
+        for nid in self.subtree_node_ids(node_id):
+            edges |= self.nodes[nid].edges
+        return edges
+
+    def sla(self, edge: Edge) -> Set[int]:
+        """Subtree adjacency node ids of ``edge`` (Table II).
+
+        ``id ∈ sla(e)`` iff some neighbour-edge ``e'`` of ``e`` has
+        ``t(e') >= t(e)`` and lives in the node with that id.
+        """
+        edge = self.state.graph.require_edge(edge)
+        t_edge = self.state.trussness(edge)
+        result: Set[int] = set()
+        for e1, e2, _w in self.state.triangles(edge):
+            for neighbour in (e1, e2):
+                if self.state.is_anchor(neighbour):
+                    continue
+                if self.state.trussness(neighbour) >= t_edge:
+                    result.add(self.node_of_edge[neighbour])
+        return result
+
+    def sla_map(self, edges: Optional[Iterable[Edge]] = None) -> Dict[Edge, Set[int]]:
+        """``sla(e)`` for every requested edge (default: every non-anchored edge)."""
+        if edges is None:
+            edges = list(self.state.non_anchor_edges())
+        return {edge: self.sla(edge) for edge in edges}
+
+    def node_signature(self, node_id: int) -> Tuple[FrozenSet[Edge], Tuple[Tuple[Edge, float, float], ...]]:
+        """A comparable signature of a node: its edge set plus (t, l) of each edge.
+
+        Two trees expose the same signature for a node id exactly when the
+        node's edge membership, trussness and peeling layers are all
+        unchanged — the precondition under which cached follower results for
+        that node stay valid (Lemma 5 plus the conservative extension
+        described in DESIGN.md §3.3).
+        """
+        node = self.nodes[node_id]
+        detail = tuple(
+            sorted(
+                (edge, float(self.state.trussness(edge)), float(self.state.layer(edge)))
+                for edge in node.edges
+            )
+        )
+        return node.edges, detail
+
+    def signatures(self) -> Dict[int, Tuple[FrozenSet[Edge], Tuple[Tuple[Edge, float, float], ...]]]:
+        """Signatures of every node, keyed by node id."""
+        return {node_id: self.node_signature(node_id) for node_id in self.nodes}
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests and the reuse statistics)
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (number of nodes)."""
+        best = 0
+        for root in self.roots:
+            stack = [(root, 1)]
+            while stack:
+                node_id, depth = stack.pop()
+                best = max(best, depth)
+                for child in self.nodes[node_id].children:
+                    stack.append((child, depth + 1))
+        return best
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"TrussComponentTree(nodes={len(self.nodes)}, roots={len(self.roots)})"

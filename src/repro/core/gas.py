@@ -1,0 +1,174 @@
+"""GAS — the paper's full algorithm (Algorithm 6).
+
+GAS runs the same greedy framework as BASE+ but avoids recomputing follower
+sets from scratch in every round:
+
+1. follower sets are cached *per (candidate edge, tree node)* — ``F[e][id]``
+   in the paper's notation;
+2. after an anchor is committed, the truss component tree is rebuilt and the
+   reuse rule of :mod:`repro.core.reuse` decides which cached entries are
+   still valid;
+3. in the next round only the invalidated entries are recomputed, and the
+   recomputation is restricted to the affected tree nodes (the
+   ``candidate_filter`` argument of the follower search).
+
+Because the reuse rule is conservative, GAS selects exactly the same anchors
+as BASE+ and BASE (under the shared smallest-edge-id tie-breaking); the
+test-suite verifies this equivalence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.component_tree import TrussComponentTree
+from repro.core.followers import FollowerMethod, compute_followers
+from repro.core.result import AnchorResult, evaluate_anchor_set
+from repro.core.reuse import ReuseDecision, ReuseStats, classify_reuse, compute_reuse_decision
+from repro.graph.graph import Edge, Graph
+from repro.truss.state import TrussState
+from repro.utils.errors import InvalidParameterError
+
+CacheEntry = Dict[int, FrozenSet[Edge]]
+
+
+def gas(
+    graph: Graph,
+    budget: int,
+    initial_anchors: Iterable[Edge] = (),
+    method: FollowerMethod | str = FollowerMethod.SUPPORT_CHECK,
+    collect_reuse_stats: bool = True,
+) -> AnchorResult:
+    """Select ``budget`` anchor edges with the GAS algorithm.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (not modified).
+    budget:
+        Number of anchor edges to select (the paper's ``b``).
+    initial_anchors:
+        Edges considered already anchored before the first round.
+    method:
+        Follower-computation strategy used for the per-node recomputations
+        (``support-check`` by default; ``peel`` for the ablation study).
+    collect_reuse_stats:
+        When true, the per-round FR/PR/NR reuse statistics (Fig. 10) are
+        recorded in ``result.extra["reuse_stats"]``.
+    """
+    if budget < 0:
+        raise InvalidParameterError("budget must be non-negative")
+    if budget > graph.num_edges:
+        raise InvalidParameterError(
+            f"budget {budget} exceeds the number of edges {graph.num_edges}"
+        )
+    method = FollowerMethod(method)
+    if method is FollowerMethod.RECOMPUTE:
+        raise InvalidParameterError(
+            "GAS requires a local follower method ('support-check' or 'peel')"
+        )
+
+    start = time.perf_counter()
+    anchors: List[Edge] = [graph.require_edge(e) for e in initial_anchors]
+    original_state = TrussState.compute(graph)
+    state = (
+        TrussState.compute(graph, anchors) if anchors else original_state
+    )
+    tree = TrussComponentTree.build(state)
+
+    cache: Dict[Edge, CacheEntry] = {}
+    decision: Optional[ReuseDecision] = None
+    per_round_gain: List[int] = []
+    reuse_rounds: List[Dict[str, float]] = []
+    recompute_counts: List[int] = []
+    cumulative_seconds: List[float] = []
+
+    for _round in range(budget):
+        stats = ReuseStats()
+        recomputed_entries = 0
+        best_edge: Optional[Edge] = None
+        best_count = -1
+        best_id = -1
+
+        for edge in state.non_anchor_edges():
+            sla_ids = tree.sla(edge)
+            entry = cache.get(edge)
+            if decision is None or entry is None or edge in decision.invalid_edges:
+                previous_ids: Set[int] = set(entry) if entry else set()
+                entry = {}
+                cache[edge] = entry
+                needed = set(sla_ids)
+                if decision is not None:
+                    stats.non_reusable += 1
+            else:
+                for node_id in list(entry):
+                    if node_id not in sla_ids:
+                        del entry[node_id]
+                needed = {
+                    node_id
+                    for node_id in sla_ids
+                    if node_id not in entry or node_id in decision.invalid_node_ids
+                }
+                category = classify_reuse(set(sla_ids), decision, edge)
+                if category == "FR" and not needed:
+                    stats.fully_reusable += 1
+                elif needed and needed != set(sla_ids):
+                    stats.partially_reusable += 1
+                elif needed:
+                    stats.non_reusable += 1
+                else:
+                    stats.fully_reusable += 1
+
+            if needed:
+                recomputed_entries += 1
+                candidate_filter: Set[Edge] = set()
+                for node_id in needed:
+                    candidate_filter |= tree.nodes[node_id].edges
+                followers = compute_followers(
+                    state, edge, method=method, candidate_filter=candidate_filter
+                )
+                buckets: Dict[int, Set[Edge]] = {node_id: set() for node_id in needed}
+                for follower in followers:
+                    buckets[tree.node_of_edge[follower]].add(follower)
+                for node_id, bucket in buckets.items():
+                    entry[node_id] = frozenset(bucket)
+
+            # Marginal gain of Definition 4: follower count minus the gain the
+            # candidate itself accumulated as a follower of earlier anchors
+            # (forfeited once it becomes an anchor).  Matches BASE / BASE+.
+            accumulated = int(state.trussness(edge)) - int(original_state.trussness(edge))
+            total = sum(len(bucket) for bucket in entry.values()) - accumulated
+            edge_id = graph.edge_id(edge)
+            if total > best_count or (total == best_count and edge_id < best_id):
+                best_edge, best_count, best_id = edge, total, edge_id
+
+        if best_edge is None:
+            break
+
+        followers_of_best: Set[Edge] = set()
+        for bucket in cache[best_edge].values():
+            followers_of_best |= bucket
+
+        anchors.append(best_edge)
+        cache.pop(best_edge, None)
+        per_round_gain.append(best_count)
+        recompute_counts.append(recomputed_entries)
+        if collect_reuse_stats and decision is not None:
+            reuse_rounds.append(stats.fractions())
+
+        old_tree = tree
+        state = TrussState.compute(graph, anchors)
+        tree = TrussComponentTree.build(state)
+        decision = compute_reuse_decision(old_tree, tree, best_edge, followers_of_best)
+        cumulative_seconds.append(time.perf_counter() - start)
+
+    elapsed = time.perf_counter() - start
+    result = evaluate_anchor_set(graph, anchors, algorithm="GAS", elapsed_seconds=elapsed)
+    result.per_round_gain = per_round_gain
+    result.extra["follower_method"] = method.value
+    result.extra["recomputed_entries_per_round"] = recompute_counts
+    result.extra["cumulative_seconds_per_round"] = cumulative_seconds
+    if collect_reuse_stats:
+        result.extra["reuse_stats"] = reuse_rounds
+    return result

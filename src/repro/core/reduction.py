@@ -1,0 +1,166 @@
+"""NP-hardness reduction gadget (Theorem 1, Fig. 2 of the paper).
+
+Theorem 1 reduces the maximum-coverage problem to ATR: an instance with sets
+``T_1..T_s`` over elements ``e_1..e_t`` is turned into a graph where
+
+* each set ``T_i`` becomes an "anchor candidate" edge ``a_i`` with trussness
+  ``|T_i| + 2``,
+* each element ``e_j`` becomes a "follower" edge ``f_j`` whose trussness is
+  pinned to ``t + 2`` by ``t`` triangles with (t+3)-clique edges,
+* whenever ``e_j ∈ T_i`` the edges ``a_i`` and ``f_j`` close a triangle whose
+  third edge belongs to a fresh (t+3)-clique,
+
+so that anchoring ``a_i`` lifts exactly the ``f_j`` with ``e_j ∈ T_i`` by one
+trussness level, anchoring several sets never lifts the same ``f_j`` twice,
+and anchoring any edge outside ``{a_i}`` lifts nothing.  The optimal ATR
+solution of budget ``b`` therefore covers exactly as many elements as the
+optimal maximum-coverage solution.
+
+Concrete realisation
+--------------------
+All gadget edges share a *hub* vertex ``h`` so that the required triangles
+exist literally:
+
+* ``f_j = (h, q_j)``; its ``t`` pinned triangles use fresh apex vertices
+  ``r`` with the two edges ``(h, r)`` and ``(q_j, r)``, each embedded in its
+  own (t+3)-clique so that both have trussness ``t + 3``.
+* ``a_i = (h, y_i)``; for every covered element ``e_j`` the connector edge
+  ``(y_i, q_j)`` is added and embedded in its own (t+3)-clique, which closes
+  the triangle ``{a_i, f_j, (y_i, q_j)}``.
+
+The test-suite verifies the claimed trussness values and the gain behaviour
+on small instances, i.e. it *executes* the reduction rather than taking it
+on faith.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.graph.graph import Edge, Graph
+from repro.utils.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class MaxCoverageInstance:
+    """A maximum-coverage instance: ``sets[i]`` is the set of covered element indices."""
+
+    num_elements: int
+    sets: Tuple[FrozenSet[int], ...]
+
+    @classmethod
+    def from_lists(
+        cls, sets: Sequence[Sequence[int]], num_elements: int | None = None
+    ) -> "MaxCoverageInstance":
+        frozen = tuple(frozenset(s) for s in sets)
+        elements: Set[int] = set().union(*frozen) if frozen else set()
+        if num_elements is None:
+            num_elements = (max(elements) + 1) if elements else 0
+        if any(e < 0 or e >= num_elements for e in elements):
+            raise InvalidParameterError("element indices must lie in [0, num_elements)")
+        return cls(num_elements=num_elements, sets=frozen)
+
+    def coverage(self, chosen: Sequence[int]) -> int:
+        covered: Set[int] = set()
+        for index in chosen:
+            covered |= self.sets[index]
+        return len(covered)
+
+    def best_coverage(self, budget: int) -> int:
+        """Optimal coverage by brute force (instances used in tests are tiny)."""
+        best = 0
+        indices = range(len(self.sets))
+        for subset in itertools.combinations(indices, min(budget, len(self.sets))):
+            best = max(best, self.coverage(subset))
+        return best
+
+
+@dataclass
+class AtrReduction:
+    """The ATR instance produced from a coverage instance."""
+
+    graph: Graph
+    hub: int
+    set_edges: List[Edge]
+    element_edges: List[Edge]
+    clique_size: int
+    instance: MaxCoverageInstance = field(repr=False)
+
+    @property
+    def expected_element_trussness(self) -> int:
+        """Every element edge f_j has trussness t + 2 before anchoring."""
+        return self.instance.num_elements + 2
+
+    def expected_set_trussness(self, set_index: int) -> int:
+        """Every set edge a_i has trussness |T_i| + 2 before anchoring."""
+        return len(self.instance.sets[set_index]) + 2
+
+
+class _VertexFactory:
+    """Hands out fresh integer vertex ids."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def take(self, count: int = 1) -> List[int]:
+        result = list(range(self._next, self._next + count))
+        self._next += count
+        return result
+
+    def one(self) -> int:
+        return self.take(1)[0]
+
+
+def _add_clique(graph: Graph, vertices: Sequence[int]) -> None:
+    for u, v in itertools.combinations(vertices, 2):
+        graph.add_edge(u, v)
+
+
+def build_atr_instance_from_coverage(instance: MaxCoverageInstance) -> AtrReduction:
+    """Build the Theorem-1 gadget for ``instance`` (see module docstring)."""
+    if instance.num_elements < 1 or not instance.sets:
+        raise InvalidParameterError("the coverage instance must have sets and elements")
+    t = instance.num_elements
+    clique_size = t + 3
+    factory = _VertexFactory()
+    graph = Graph()
+
+    hub = factory.one()
+    graph.add_vertex(hub)
+
+    # Element edges f_j = (hub, q_j).
+    element_vertices = factory.take(t)
+    element_edges = [graph.add_edge(hub, q) for q in element_vertices]
+
+    # Set edges a_i = (hub, y_i).
+    set_vertices = factory.take(len(instance.sets))
+    set_edges = [graph.add_edge(hub, y) for y in set_vertices]
+
+    # Pin every f_j to trussness t + 2 with t triangles whose two other edges
+    # each live in their own (t+3)-clique.
+    for q in element_vertices:
+        for _ in range(t):
+            apex = factory.one()
+            graph.add_edge(hub, apex)
+            graph.add_edge(q, apex)
+            _add_clique(graph, [hub, apex] + factory.take(clique_size - 2))
+            _add_clique(graph, [q, apex] + factory.take(clique_size - 2))
+
+    # Join a_i with every covered f_j through a connector edge (y_i, q_j)
+    # embedded in its own (t+3)-clique.
+    for y, covered in zip(set_vertices, instance.sets):
+        for element_index in sorted(covered):
+            q = element_vertices[element_index]
+            graph.add_edge(y, q)
+            _add_clique(graph, [y, q] + factory.take(clique_size - 2))
+
+    return AtrReduction(
+        graph=graph,
+        hub=hub,
+        set_edges=set_edges,
+        element_edges=element_edges,
+        clique_size=clique_size,
+        instance=instance,
+    )

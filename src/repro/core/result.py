@@ -1,0 +1,113 @@
+"""Result objects shared by every anchor-selection algorithm.
+
+All solvers (GAS, BASE, BASE+, Exact, the random baselines, AKT and the
+edge-deletion baseline) return an :class:`AnchorResult`, so the experiment
+harness can treat them uniformly when building the paper's tables and
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.truss.state import TrussState
+
+
+@dataclass
+class AnchorResult:
+    """Outcome of one anchor-selection run.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable algorithm name ("GAS", "BASE+", "Rand", ...).
+    anchors:
+        The selected anchor edges, in selection order.
+    gain:
+        The trussness gain ``TG(A, G)`` of the final anchor set, evaluated
+        with Definition 4 (anchored edges excluded from the sum).
+    per_round_gain:
+        Number of followers gained by each greedy round (empty for one-shot
+        algorithms such as the random baselines).
+    followers:
+        The union of follower edges of the final anchor set, i.e. every edge
+        whose trussness is strictly higher than in the original graph.
+    gain_by_trussness:
+        Histogram ``original trussness -> number of followers`` (used by the
+        case study and Fig. 11(b)).
+    elapsed_seconds:
+        Wall-clock time spent by the algorithm.
+    extra:
+        Algorithm-specific diagnostics (e.g. reuse statistics for GAS).
+    """
+
+    algorithm: str
+    anchors: List[Edge]
+    gain: int
+    per_round_gain: List[int] = field(default_factory=list)
+    followers: Set[Edge] = field(default_factory=set)
+    gain_by_trussness: Dict[int, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def budget(self) -> int:
+        return len(self.anchors)
+
+    def summary(self) -> str:
+        """One-line human readable summary used by the examples and the CLI."""
+        return (
+            f"{self.algorithm}: b={self.budget} gain={self.gain} "
+            f"followers={len(self.followers)} time={self.elapsed_seconds:.3f}s"
+        )
+
+
+def evaluate_anchor_set(
+    graph: Graph,
+    anchors: Iterable[Edge],
+    algorithm: str = "custom",
+    elapsed_seconds: float = 0.0,
+    baseline_state: Optional[TrussState] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> AnchorResult:
+    """Evaluate an arbitrary anchor set with Definition 4.
+
+    This is the single source of truth for the reported gain of *every*
+    algorithm: whatever bookkeeping a solver does internally, the number in
+    the tables always comes from one anchored truss decomposition compared
+    against the original decomposition.
+    """
+    anchor_list = [graph.require_edge(e) for e in anchors]
+    baseline_state = baseline_state or TrussState.compute(graph)
+    anchored_state = baseline_state.with_anchors(anchor_list)
+
+    followers = anchored_state.followers_relative_to(baseline_state)
+    gain = anchored_state.trussness_gain_from(baseline_state)
+
+    gain_by_trussness: Dict[int, int] = {}
+    for edge in followers:
+        original = int(baseline_state.trussness(edge))
+        gain_by_trussness[original] = gain_by_trussness.get(original, 0) + 1
+
+    return AnchorResult(
+        algorithm=algorithm,
+        anchors=anchor_list,
+        gain=gain,
+        followers=followers,
+        gain_by_trussness=dict(sorted(gain_by_trussness.items())),
+        elapsed_seconds=elapsed_seconds,
+        extra=extra or {},
+    )
+
+
+def best_of(results: Sequence[AnchorResult]) -> AnchorResult:
+    """Return the result with the highest gain (ties: first one)."""
+    if not results:
+        raise ValueError("best_of() requires at least one result")
+    best = results[0]
+    for candidate in results[1:]:
+        if candidate.gain > best.gain:
+            best = candidate
+    return best

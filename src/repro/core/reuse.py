@@ -1,0 +1,144 @@
+"""Follower-reuse bookkeeping between greedy rounds (Algorithm 5 / Lemma 5).
+
+After an anchor is committed, most of the per-edge follower sets computed in
+the previous round are still valid: trussness changes are confined to the
+anchor's followers, and follower sets are cached *per tree node*
+(``F[e][id]``).  This module decides which cached entries survive.
+
+The invalidation rule is the paper's Algorithm 5 extended conservatively
+(DESIGN.md §3.3): a cached entry ``F[e][id]`` is kept only when
+
+* the node ``id`` exists before and after the anchoring with an identical
+  edge set and identical per-edge trussness / layer values,
+* ``id`` is not in ``sla(x)`` of the committed anchor ``x`` (the anchor's
+  infinite support may enable new followers in any adjacent node, even one
+  whose own edges did not move), and
+* the trussness and layer of ``e`` itself did not change.
+
+The conservative rule can only invalidate *more* entries than the paper's
+rule, so GAS remains exactly equivalent to BASE+; the reuse-rate experiment
+(Fig. 10) shows that the overwhelming majority of entries is still reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.core.component_tree import TrussComponentTree
+from repro.graph.graph import Edge
+
+
+@dataclass
+class ReuseDecision:
+    """Outcome of the invalidation analysis for one committed anchor."""
+
+    #: Node ids whose cached follower entries must be recomputed.
+    invalid_node_ids: Set[int] = field(default_factory=set)
+    #: Edges whose whole cache entry must be dropped (their own t/l changed).
+    invalid_edges: Set[Edge] = field(default_factory=set)
+
+    def is_node_valid(self, node_id: int) -> bool:
+        return node_id not in self.invalid_node_ids
+
+
+@dataclass
+class ReuseStats:
+    """Per-round reuse statistics (the FR / PR / NR split of Fig. 10)."""
+
+    fully_reusable: int = 0
+    partially_reusable: int = 0
+    non_reusable: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.fully_reusable + self.partially_reusable + self.non_reusable
+
+    def fractions(self) -> Dict[str, float]:
+        total = max(1, self.total)
+        return {
+            "FR": self.fully_reusable / total,
+            "PR": self.partially_reusable / total,
+            "NR": self.non_reusable / total,
+        }
+
+
+def compute_reuse_decision(
+    old_tree: TrussComponentTree,
+    new_tree: TrussComponentTree,
+    committed_anchor: Edge,
+    committed_followers: Set[Edge],
+) -> ReuseDecision:
+    """Decide which cached follower entries survive the committed anchoring.
+
+    Parameters
+    ----------
+    old_tree / new_tree:
+        The truss component trees before and after the anchor was committed
+        (both carry their own :class:`TrussState`).
+    committed_anchor:
+        The edge that was just anchored.
+    committed_followers:
+        Its follower set (their trussness rose by one).
+    """
+    decision = ReuseDecision()
+
+    old_signatures = old_tree.signatures()
+    new_signatures = new_tree.signatures()
+
+    # 1. Nodes that changed membership, trussness or layers — or disappeared
+    #    or newly appeared — are invalid.
+    for node_id, signature in old_signatures.items():
+        if new_signatures.get(node_id) != signature:
+            decision.invalid_node_ids.add(node_id)
+    for node_id in new_signatures:
+        if node_id not in old_signatures:
+            decision.invalid_node_ids.add(node_id)
+
+    # 2. Every node adjacent to the committed anchor with trussness at least
+    #    t(x) may now host followers it could not host before (the anchor's
+    #    support became infinite), so it is invalidated in both trees.
+    old_state = old_tree.state
+    decision.invalid_node_ids |= old_tree.sla(committed_anchor)
+    if not new_tree.state.is_anchor(committed_anchor):  # pragma: no cover - defensive
+        decision.invalid_node_ids |= new_tree.sla(committed_anchor)
+    if committed_anchor in old_tree.node_of_edge:
+        decision.invalid_node_ids.add(old_tree.node_of_edge[committed_anchor])
+
+    # 3. Nodes that hosted the followers before, and nodes hosting them now.
+    for follower in committed_followers:
+        if follower in old_tree.node_of_edge:
+            decision.invalid_node_ids.add(old_tree.node_of_edge[follower])
+        if follower in new_tree.node_of_edge:
+            decision.invalid_node_ids.add(new_tree.node_of_edge[follower])
+
+    # 4. Edges whose own trussness or layer changed cannot reuse anything:
+    #    their candidate generation (Lemma 2 condition (i)) depends on t/l.
+    new_state = new_tree.state
+    for edge in old_state.non_anchor_edges():
+        if new_state.is_anchor(edge):
+            decision.invalid_edges.add(edge)
+            continue
+        if (
+            old_state.trussness(edge) != new_state.trussness(edge)
+            or old_state.layer(edge) != new_state.layer(edge)
+        ):
+            decision.invalid_edges.add(edge)
+
+    return decision
+
+
+def classify_reuse(
+    cached_ids: Set[int],
+    decision: ReuseDecision,
+    edge: Edge,
+) -> str:
+    """Classify one edge's cache entry as "FR", "PR" or "NR" (Fig. 10)."""
+    if edge in decision.invalid_edges or not cached_ids:
+        return "NR"
+    invalid = {node_id for node_id in cached_ids if node_id in decision.invalid_node_ids}
+    if not invalid:
+        return "FR"
+    if invalid == cached_ids:
+        return "NR"
+    return "PR"

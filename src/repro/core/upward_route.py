@@ -1,0 +1,95 @@
+"""Upward routes (Definitions 6 and 7) and their statistics (Table IV).
+
+An upward route from ``e_s`` to ``e_t`` is a chain of triangles whose edges
+all share the trussness of ``e_s`` and appear in non-decreasing deletion
+order.  Lemma 2 shows that the followers of an anchor can only lie on upward
+routes rooted at the anchor's qualifying neighbour-edges — this is the
+candidate restriction that makes the follower search local.
+
+This module exposes the reachable route set of a potential anchor (used by
+the ``Tur`` baseline and the Table IV statistics) and a route-existence
+check used by the tests of Lemma 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.followers import _expand_candidates, _initial_candidates
+from repro.graph.graph import Edge, Graph
+from repro.truss.state import TrussState
+
+
+def upward_route_edges(state: TrussState, anchor: Edge) -> Set[Edge]:
+    """All edges reachable from ``anchor`` along upward routes.
+
+    The set starts from the anchor's neighbour-edges that satisfy condition
+    (i) of Lemma 2 and is closed under the route expansion of Definition 7
+    (same trussness, non-decreasing deletion order).  It is a superset of
+    the follower set ``F(anchor, G)``.
+    """
+    anchor = state.graph.require_edge(anchor)
+    seeds = _initial_candidates(state, anchor, strict=True)
+    return _expand_candidates(state, seeds)
+
+
+def upward_route_size(state: TrussState, anchor: Edge) -> int:
+    """Number of edges on the upward routes rooted at ``anchor`` (Table IV)."""
+    return len(upward_route_edges(state, anchor))
+
+
+@dataclass(frozen=True)
+class RouteStatistics:
+    """Summary statistics of the upward-route sizes of a graph (Table IV)."""
+
+    minimum: int
+    maximum: int
+    total: int
+    average: float
+    per_edge: Dict[Edge, int]
+
+    @classmethod
+    def empty(cls) -> "RouteStatistics":
+        return cls(minimum=0, maximum=0, total=0, average=0.0, per_edge={})
+
+
+def upward_route_statistics(
+    state: TrussState, edges: Optional[Iterable[Edge]] = None
+) -> RouteStatistics:
+    """Route-size statistics over ``edges`` (default: every non-anchored edge).
+
+    The paper's Table IV reports the minimum, maximum, sum and average route
+    size when every edge of the graph is considered as the anchor in the
+    first round of GAS.
+    """
+    pool = list(edges) if edges is not None else list(state.non_anchor_edges())
+    per_edge: Dict[Edge, int] = {}
+    for edge in pool:
+        per_edge[edge] = upward_route_size(state, edge)
+    if not per_edge:
+        return RouteStatistics.empty()
+    sizes = list(per_edge.values())
+    total = sum(sizes)
+    return RouteStatistics(
+        minimum=min(sizes),
+        maximum=max(sizes),
+        total=total,
+        average=total / len(sizes),
+        per_edge=per_edge,
+    )
+
+
+def has_upward_route(state: TrussState, source: Edge, target: Edge) -> bool:
+    """Is there an upward route from ``source`` to ``target`` (Definition 7)?
+
+    Used by the Lemma 2 property tests: every follower must either satisfy
+    condition (i) directly or be reachable by an upward route from a
+    qualifying neighbour-edge of the anchor.
+    """
+    source = state.graph.require_edge(source)
+    target = state.graph.require_edge(target)
+    if state.trussness(source) != state.trussness(target):
+        return False
+    reachable = _expand_candidates(state, {source})
+    return target in reachable

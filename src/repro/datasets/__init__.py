@@ -1,0 +1,19 @@
+"""Dataset registry: synthetic stand-ins for the paper's eight SNAP networks."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_statistics,
+    extract_ego_subgraph,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_statistics",
+    "extract_ego_subgraph",
+    "load_dataset",
+]

@@ -1,0 +1,14 @@
+"""Experiment harness: one module per table / figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function that takes an
+:class:`~repro.experiments.config.ExperimentProfile` and returns a plain
+dictionary of rows / series, plus a ``render_*`` helper that turns the result
+into the text table or ASCII chart printed by the benchmarks and the CLI.
+
+The mapping from paper artefacts to modules is listed in DESIGN.md §2 and in
+EXPERIMENTS.md together with measured outputs.
+"""
+
+from repro.experiments.config import PROFILES, ExperimentProfile, get_profile
+
+__all__ = ["ExperimentProfile", "PROFILES", "get_profile"]

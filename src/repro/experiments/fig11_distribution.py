@@ -1,0 +1,108 @@
+"""Fig. 11 — trussness-gain distribution heatmaps on Gowalla.
+
+Two heatmaps are reported:
+
+* Fig. 11(a): the gain achieved by AKT for every (k, b) combination, with the
+  gain of GAS at the same budgets overlaid — AKT never comes close for any k.
+* Fig. 11(b): the distribution of GAS's followers over the original trussness
+  levels for every budget — GAS lifts edges across the whole hierarchy
+  instead of a single level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.akt import akt_greedy
+from repro.core.gas import gas
+from repro.core.result import evaluate_anchor_set
+from repro.datasets import load_dataset
+from repro.experiments.config import ExperimentProfile, get_profile
+from repro.experiments.reporting import format_heatmap, format_series
+from repro.truss.state import TrussState
+
+
+def run_fig11(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
+    profile = profile or get_profile()
+    name = profile.case_study_dataset
+    graph = load_dataset(name)
+    state = TrussState.compute(graph)
+    budgets = list(profile.budget_sweep)
+    max_budget = max(budgets)
+
+    gas_result = gas(graph, max_budget)
+
+    # Fig. 11(b): follower distribution per trussness level for each budget.
+    follower_distribution: Dict[int, Dict[int, int]] = {}
+    gas_gain_per_budget: Dict[int, int] = {}
+    for budget in budgets:
+        prefix = gas_result.anchors[:budget]
+        evaluated = evaluate_anchor_set(graph, prefix, baseline_state=state)
+        follower_distribution[budget] = evaluated.gain_by_trussness
+        gas_gain_per_budget[budget] = evaluated.gain
+
+    # Fig. 11(a): AKT gain per (k, budget).
+    hulls = state.decomposition.hulls()
+    k_values = sorted(k + 1 for k in hulls if k >= 3)
+    if profile.akt_max_k_values and len(k_values) > profile.akt_max_k_values:
+        k_values = sorted(
+            k_values, key=lambda k: -len(hulls.get(k - 1, ())),
+        )[: profile.akt_max_k_values]
+        k_values.sort()
+    akt_grid: Dict[int, Dict[int, int]] = {}
+    for k in k_values:
+        akt_grid[k] = {}
+        for budget in budgets:
+            _anchors, gain = akt_greedy(
+                graph, k, budget, state, max_candidates=profile.akt_max_candidates
+            )
+            akt_grid[k][budget] = gain
+
+    return {
+        "dataset": name,
+        "budgets": budgets,
+        "k_values": k_values,
+        "akt_grid": akt_grid,
+        "gas_gain_per_budget": gas_gain_per_budget,
+        "follower_distribution": follower_distribution,
+    }
+
+
+def render_fig11(result: Dict[str, object]) -> str:
+    parts: List[str] = []
+    budgets = result["budgets"]
+    parts.append(
+        format_heatmap(
+            "k",
+            result["k_values"],
+            "b",
+            budgets,
+            result["akt_grid"],
+            title=f"Fig. 11(a) reproduction (AKT gain per (k, b) on {result['dataset']})",
+        )
+    )
+    parts.append(
+        format_series(
+            "b",
+            budgets,
+            {"GAS gain": [result["gas_gain_per_budget"][b] for b in budgets]},
+            title="GAS gain at the same budgets (overlay of Fig. 11(a))",
+        )
+    )
+    levels = sorted(
+        {level for dist in result["follower_distribution"].values() for level in dist}
+    )
+    parts.append(
+        format_heatmap(
+            "trussness",
+            levels,
+            "b",
+            budgets,
+            {
+                level: {b: result["follower_distribution"][b].get(level, 0) for b in budgets}
+                for level in levels
+            },
+            title=f"Fig. 11(b) reproduction (GAS follower distribution on {result['dataset']})",
+        )
+    )
+    return "\n\n".join(parts)

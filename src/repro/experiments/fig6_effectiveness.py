@@ -1,0 +1,84 @@
+"""Fig. 6 — trussness gain as a function of the budget b.
+
+The paper plots the gain of GAS against the three random baselines (Rand,
+Sup, Tur) on Facebook and Brightkite while b grows from 20 to 100.  The
+reproduced claim is the ordering GAS ≫ Tur ≥ Rand ≥ Sup across all budgets.
+
+GAS is run once with the largest budget; the gain at smaller budgets is the
+gain of the corresponding anchor prefix (greedy prefixes are exactly what a
+smaller-budget run would have chosen).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.gas import gas
+from repro.core.heuristics import random_baseline, support_baseline, upward_route_baseline
+from repro.core.result import evaluate_anchor_set
+from repro.datasets import load_dataset
+from repro.experiments.config import ExperimentProfile, get_profile
+from repro.experiments.reporting import format_series
+from repro.truss.state import TrussState
+
+
+def run_fig6(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
+    profile = profile or get_profile()
+    budgets = list(profile.budget_sweep)
+    datasets: Dict[str, Dict[str, List[int]]] = {}
+
+    for name in profile.sweep_datasets:
+        graph = load_dataset(name)
+        baseline_state = TrussState.compute(graph)
+        gas_result = gas(graph, max(budgets))
+
+        series: Dict[str, List[int]] = {"GAS": [], "Rand": [], "Sup": [], "Tur": []}
+        for budget in budgets:
+            prefix = gas_result.anchors[:budget]
+            prefix_gain = evaluate_anchor_set(
+                graph, prefix, algorithm="GAS", baseline_state=baseline_state
+            ).gain
+            series["GAS"].append(prefix_gain)
+            series["Rand"].append(
+                random_baseline(
+                    graph,
+                    budget,
+                    repetitions=profile.random_repetitions,
+                    seed=profile.seed + budget,
+                    baseline_state=baseline_state,
+                ).gain
+            )
+            series["Sup"].append(
+                support_baseline(
+                    graph,
+                    budget,
+                    repetitions=profile.random_repetitions,
+                    seed=profile.seed + budget + 1,
+                    baseline_state=baseline_state,
+                ).gain
+            )
+            series["Tur"].append(
+                upward_route_baseline(
+                    graph,
+                    budget,
+                    repetitions=profile.random_repetitions,
+                    seed=profile.seed + budget + 2,
+                    baseline_state=baseline_state,
+                ).gain
+            )
+        datasets[name] = series
+    return {"budgets": budgets, "datasets": datasets}
+
+
+def render_fig6(result: Dict[str, object]) -> str:
+    parts: List[str] = []
+    for name, series in result["datasets"].items():
+        parts.append(
+            format_series(
+                "b",
+                result["budgets"],
+                series,
+                title=f"Fig. 6 reproduction (trussness gain vs budget, {name})",
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,66 @@
+"""Fig. 9 — scalability of GAS under vertex / edge sampling.
+
+The two largest datasets are down-sampled to 50–100 % of their edges (or
+vertices, taking the induced subgraph), GAS is run on every sample, and the
+runtime together with the vertex/edge ratios of the samples is reported.
+The reproduced claim is that the runtime grows smoothly (roughly
+proportionally) with the sample size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.gas import gas
+from repro.datasets import load_dataset
+from repro.experiments.config import ExperimentProfile, get_profile
+from repro.experiments.reporting import format_series
+from repro.graph.sampling import sample_edges, sample_vertices, sampling_ratios
+
+
+def run_fig9(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
+    profile = profile or get_profile()
+    rates = list(profile.scalability_rates)
+    budget = profile.scalability_budget
+    datasets: Dict[str, Dict[str, Dict[str, List[object]]]] = {}
+
+    for name in profile.scalability_datasets:
+        graph = load_dataset(name)
+        edge_mode: Dict[str, List[object]] = {"seconds": [], "vertex_ratio": [], "edge_ratio": []}
+        vertex_mode: Dict[str, List[object]] = {"seconds": [], "vertex_ratio": [], "edge_ratio": []}
+        for rate in rates:
+            sampled = sample_edges(graph, rate, seed=profile.seed)
+            result = gas(sampled, budget)
+            v_ratio, e_ratio = sampling_ratios(graph, sampled)
+            edge_mode["seconds"].append(round(result.elapsed_seconds, 3))
+            edge_mode["vertex_ratio"].append(round(v_ratio, 3))
+            edge_mode["edge_ratio"].append(round(e_ratio, 3))
+
+            sampled = sample_vertices(graph, rate, seed=profile.seed)
+            result = gas(sampled, budget)
+            v_ratio, e_ratio = sampling_ratios(graph, sampled)
+            vertex_mode["seconds"].append(round(result.elapsed_seconds, 3))
+            vertex_mode["vertex_ratio"].append(round(v_ratio, 3))
+            vertex_mode["edge_ratio"].append(round(e_ratio, 3))
+        datasets[name] = {"vary_edges": edge_mode, "vary_vertices": vertex_mode}
+    return {"rates": rates, "budget": budget, "datasets": datasets}
+
+
+def render_fig9(result: Dict[str, object]) -> str:
+    parts: List[str] = []
+    for name, payload in result["datasets"].items():
+        for mode, label in (("vary_edges", "|E|"), ("vary_vertices", "|V|")):
+            series = {
+                "GAS time (s)": payload[mode]["seconds"],
+                "vertex ratio": payload[mode]["vertex_ratio"],
+                "edge ratio": payload[mode]["edge_ratio"],
+            }
+            parts.append(
+                format_series(
+                    "rate",
+                    result["rates"],
+                    series,
+                    title=f"Fig. 9 reproduction ({name}, varying {label}, b={result['budget']})",
+                )
+            )
+    return "\n\n".join(parts)

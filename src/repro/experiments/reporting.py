@@ -1,0 +1,93 @@
+"""Plain-text rendering of experiment results (tables, series, heatmaps).
+
+The paper presents its evaluation as tables, line plots and heatmaps.  The
+harness reproduces the underlying numbers; this module renders them as
+monospace text so that benchmark output and EXPERIMENTS.md stay readable
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render ``rows`` as an aligned monospace table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".") if cell != int(cell) else str(int(cell))
+    return str(cell)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render several aligned series (the data behind a line plot)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_bar_chart(
+    values: Mapping[str, float], width: int = 40, title: Optional[str] = None
+) -> str:
+    """Simple horizontal ASCII bar chart (used for the reuse pie of Fig. 10)."""
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    maximum = max(values.values(), default=0.0) or 1.0
+    label_width = max((len(k) for k in values), default=0)
+    for key, value in values.items():
+        bar = "#" * int(round(width * value / maximum))
+        parts.append(f"{key.ljust(label_width)} | {bar} {value:.3g}")
+    return "\n".join(parts)
+
+
+def format_heatmap(
+    row_label: str,
+    row_values: Sequence[object],
+    col_label: str,
+    col_values: Sequence[object],
+    cells: Mapping[object, Mapping[object, object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a (rows x columns) grid of values (the data behind Fig. 11)."""
+    headers = [f"{row_label}\\{col_label}"] + [str(c) for c in col_values]
+    rows = []
+    for r in row_values:
+        row: List[object] = [r]
+        for c in col_values:
+            row.append(cells.get(r, {}).get(c, "-"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,255 @@
+"""Simple undirected graph with stable edge identifiers.
+
+Design notes
+------------
+* Vertices are arbitrary hashable, orderable objects (the library and the
+  paper use integers).  Edges are stored in *normalised* form ``(u, v)`` with
+  ``u < v`` so that one canonical tuple identifies each undirected edge.
+* Every edge receives a stable integer id in insertion order.  The paper's
+  truss component tree (Section III-C) identifies tree nodes by the smallest
+  edge id they contain, so ids are exposed as part of the public API.
+* The structure is mutable (edges can be added and removed) but the ATR
+  algorithms never mutate the input graph: they either work on copies or on
+  lightweight "removed" sets layered on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from repro.utils.errors import GraphError, InvalidEdgeError
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+def normalize_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical ``(min, max)`` representation of an edge.
+
+    Raises
+    ------
+    GraphError
+        If ``u == v`` (self loops are not allowed in the truss model).
+    """
+    if u == v:
+        raise GraphError(f"self loop ({u!r}, {v!r}) is not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+    >>> g.num_vertices, g.num_edges
+    (3, 3)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    """
+
+    __slots__ = ("_adj", "_edge_ids", "_edges_by_id", "_next_edge_id")
+
+    def __init__(self) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._edge_ids: Dict[Edge, int] = {}
+        self._edges_by_id: Dict[int, Edge] = {}
+        self._next_edge_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[Vertex, Vertex]]) -> "Graph":
+        """Build a graph from an iterable of (u, v) pairs (duplicates ignored)."""
+        graph = cls()
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def copy(self) -> "Graph":
+        """Return a deep structural copy that preserves edge ids."""
+        clone = Graph()
+        clone._adj = {u: set(neigh) for u, neigh in self._adj.items()}
+        clone._edge_ids = dict(self._edge_ids)
+        clone._edges_by_id = dict(self._edges_by_id)
+        clone._next_edge_id = self._next_edge_id
+        return clone
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, u: Vertex) -> None:
+        """Add an isolated vertex (no-op if it already exists)."""
+        self._adj.setdefault(u, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> Edge:
+        """Add edge (u, v); return the canonical edge tuple.
+
+        Adding an existing edge is a no-op (the original id is retained).
+        """
+        edge = normalize_edge(u, v)
+        if edge in self._edge_ids:
+            return edge
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._edge_ids[edge] = self._next_edge_id
+        self._edges_by_id[self._next_edge_id] = edge
+        self._next_edge_id += 1
+        return edge
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove edge (u, v).  Raises :class:`InvalidEdgeError` if absent."""
+        edge = normalize_edge(u, v)
+        if edge not in self._edge_ids:
+            raise InvalidEdgeError(edge)
+        self._adj[edge[0]].discard(edge[1])
+        self._adj[edge[1]].discard(edge[0])
+        edge_id = self._edge_ids.pop(edge)
+        del self._edges_by_id[edge_id]
+
+    def remove_vertex(self, u: Vertex) -> None:
+        """Remove a vertex and all incident edges."""
+        if u not in self._adj:
+            raise GraphError(f"vertex {u!r} is not present in the graph")
+        for v in list(self._adj[u]):
+            self.remove_edge(u, v)
+        del self._adj[u]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_ids)
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edge_ids)
+
+    def edge_list(self) -> List[Edge]:
+        """Edges in insertion (id) order."""
+        return [self._edges_by_id[i] for i in sorted(self._edges_by_id)]
+
+    def has_vertex(self, u: Vertex) -> bool:
+        return u in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        if u == v:
+            return False
+        return normalize_edge(u, v) in self._edge_ids
+
+    def neighbors(self, u: Vertex) -> Set[Vertex]:
+        """Return the neighbour set of ``u`` (a live view; do not mutate)."""
+        if u not in self._adj:
+            raise GraphError(f"vertex {u!r} is not present in the graph")
+        return self._adj[u]
+
+    def degree(self, u: Vertex) -> int:
+        return len(self.neighbors(u))
+
+    def edge_id(self, edge: Edge) -> int:
+        """Return the stable integer id of ``edge``."""
+        edge = normalize_edge(*edge)
+        try:
+            return self._edge_ids[edge]
+        except KeyError as exc:
+            raise InvalidEdgeError(edge) from exc
+
+    def edge_by_id(self, edge_id: int) -> Edge:
+        try:
+            return self._edges_by_id[edge_id]
+        except KeyError as exc:
+            raise InvalidEdgeError(edge_id) from exc
+
+    def require_edge(self, edge: Edge) -> Edge:
+        """Normalise ``edge`` and raise :class:`InvalidEdgeError` if missing."""
+        edge = normalize_edge(*edge)
+        if edge not in self._edge_ids:
+            raise InvalidEdgeError(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Vertex-induced subgraph (edge ids are re-assigned from 0)."""
+        keep = set(vertices)
+        sub = Graph()
+        for u in keep:
+            if u in self._adj:
+                sub.add_vertex(u)
+        for (u, v) in self.edge_list():
+            if u in keep and v in keep:
+                sub.add_edge(u, v)
+        return sub
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "Graph":
+        """Edge-induced subgraph (edge ids are re-assigned from 0)."""
+        sub = Graph()
+        for u, v in edges:
+            self.require_edge((u, v))
+            sub.add_edge(u, v)
+        return sub
+
+    def connected_components(self) -> List[Set[Vertex]]:
+        """Vertex sets of the connected components (isolated vertices included)."""
+        seen: Set[Vertex] = set()
+        components: List[Set[Vertex]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            stack = [start]
+            comp: Set[Vertex] = set()
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                comp.add(node)
+                for nxt in self._adj[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            components.append(comp)
+        return components
+
+    def to_networkx(self):  # pragma: no cover - thin convenience wrapper
+        """Convert to a :class:`networkx.Graph` (requires networkx installed)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(self.vertices())
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, tuple) and len(item) == 2:
+            u, v = item
+            if u in self._adj and v in self._adj and u != v:
+                return self.has_edge(u, v)
+        return item in self._adj
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            set(self.vertices()) == set(other.vertices())
+            and set(self.edges()) == set(other.edges())
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)

@@ -1,0 +1,56 @@
+"""Vertex and edge sampling used by the scalability experiment (Exp-6).
+
+The paper evaluates scalability by sampling 50–100 % of the vertices or
+edges of the two largest datasets.  Vertex sampling keeps the subgraph
+induced by the sampled vertices; edge sampling keeps the sampled edges and
+every vertex incident to them, mirroring the methodology described in the
+paper (and in Linghu et al., SIGMOD 2020, which it follows).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.graph.graph import Graph
+from repro.utils.errors import InvalidParameterError
+from repro.utils.rng import make_rng
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 < rate <= 1.0:
+        raise InvalidParameterError("sampling rate must be in (0, 1]")
+
+
+def sample_vertices(
+    graph: Graph, rate: float, seed: int | random.Random | None = None
+) -> Graph:
+    """Return the subgraph induced by a random ``rate`` fraction of vertices."""
+    _check_rate(rate)
+    rng = make_rng(seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    keep_count = max(1, round(rate * len(vertices)))
+    kept = rng.sample(vertices, keep_count)
+    return graph.subgraph(kept)
+
+
+def sample_edges(
+    graph: Graph, rate: float, seed: int | random.Random | None = None
+) -> Graph:
+    """Return the subgraph formed by a random ``rate`` fraction of edges."""
+    _check_rate(rate)
+    rng = make_rng(seed)
+    edges = graph.edge_list()
+    keep_count = max(1, round(rate * len(edges)))
+    kept = rng.sample(edges, keep_count)
+    return graph.edge_subgraph(kept)
+
+
+def sampling_ratios(original: Graph, sampled: Graph) -> Tuple[float, float]:
+    """Return ``(vertex_ratio, edge_ratio)`` of ``sampled`` w.r.t. ``original``.
+
+    These are the quantities plotted in Fig. 9(b)/(d) of the paper.
+    """
+    vertex_ratio = sampled.num_vertices / max(1, original.num_vertices)
+    edge_ratio = sampled.num_edges / max(1, original.num_edges)
+    return vertex_ratio, edge_ratio

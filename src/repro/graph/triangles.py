@@ -1,0 +1,111 @@
+"""Triangle and support utilities (Definition 1 and Definition 6 of the paper).
+
+The truss model is built entirely on triangles: the *support* of an edge is
+the number of triangles containing it, two edges are *neighbour-edges* when
+they share a triangle, and *triangle connectivity* is the transitive closure
+of sharing a triangle.  These helpers are used by the truss decomposition,
+the follower computation and the truss component tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.graph import Edge, Graph, Vertex, normalize_edge
+
+
+def common_neighbors(graph: Graph, u: Vertex, v: Vertex) -> Set[Vertex]:
+    """Vertices adjacent to both ``u`` and ``v``."""
+    neighbors_u = graph.neighbors(u)
+    neighbors_v = graph.neighbors(v)
+    if len(neighbors_u) > len(neighbors_v):
+        neighbors_u, neighbors_v = neighbors_v, neighbors_u
+    return {w for w in neighbors_u if w in neighbors_v}
+
+
+def edge_support(graph: Graph, edge: Edge) -> int:
+    """Support of ``edge`` = number of triangles containing it (Definition 1)."""
+    u, v = graph.require_edge(edge)
+    return len(common_neighbors(graph, u, v))
+
+
+def support_map(graph: Graph) -> Dict[Edge, int]:
+    """Support of every edge, computed in one pass over the edges."""
+    return {edge: edge_support(graph, edge) for edge in graph.edges()}
+
+
+def triangles_of_edge(graph: Graph, edge: Edge) -> Iterator[Tuple[Vertex, Vertex, Vertex]]:
+    """Yield the triangles ``(u, v, w)`` that contain ``edge = (u, v)``."""
+    u, v = graph.require_edge(edge)
+    for w in common_neighbors(graph, u, v):
+        yield (u, v, w)
+
+
+def triangles_of_graph(graph: Graph) -> Iterator[Tuple[Vertex, Vertex, Vertex]]:
+    """Yield every triangle of the graph exactly once (vertices sorted)."""
+    for u in graph.vertices():
+        higher_u = {x for x in graph.neighbors(u) if x > u}
+        for v in higher_u:
+            for w in higher_u & graph.neighbors(v):
+                if w > v:
+                    yield (u, v, w)
+
+
+def neighbor_edges(graph: Graph, edge: Edge) -> Iterator[Tuple[Edge, Edge, Vertex]]:
+    """Yield ``(edge_uw, edge_vw, w)`` for every triangle through ``edge = (u, v)``.
+
+    The two returned edges are the *neighbour-edges* of ``edge`` inside that
+    triangle (paper, Definition 6 discussion).  The apex vertex ``w`` is
+    returned as well because the follower computation needs to know which
+    triangle the two neighbour-edges came from.
+    """
+    u, v = graph.require_edge(edge)
+    for w in common_neighbors(graph, u, v):
+        yield (normalize_edge(u, w), normalize_edge(v, w), w)
+
+
+def triangle_connected_components(
+    graph: Graph, edges: Optional[Iterable[Edge]] = None
+) -> List[Set[Edge]]:
+    """Partition ``edges`` into triangle-connected groups (Definition 6).
+
+    Two edges belong to the same group when they are connected by a chain of
+    triangles *whose edges are all inside the considered edge set*.  If
+    ``edges`` is ``None`` the whole edge set of ``graph`` is used.
+
+    Edges that participate in no triangle inside the set form singleton
+    groups; this mirrors the BuildTree routine of the paper which assigns
+    every edge to exactly one tree node.
+    """
+    if edges is None:
+        edge_set: Set[Edge] = set(graph.edges())
+    else:
+        edge_set = {graph.require_edge(e) for e in edges}
+
+    parent: Dict[Edge, Edge] = {e: e for e in edge_set}
+
+    def find(e: Edge) -> Edge:
+        root = e
+        while parent[root] != root:
+            root = parent[root]
+        while parent[e] != root:
+            parent[e], e = root, parent[e]
+        return root
+
+    def union(a: Edge, b: Edge) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for u, v, w in triangles_of_graph(graph):
+        e1 = normalize_edge(u, v)
+        e2 = normalize_edge(u, w)
+        e3 = normalize_edge(v, w)
+        if e1 in edge_set and e2 in edge_set and e3 in edge_set:
+            union(e1, e2)
+            union(e1, e3)
+
+    groups: Dict[Edge, Set[Edge]] = {}
+    for e in edge_set:
+        groups.setdefault(find(e), set()).add(e)
+    return list(groups.values())

@@ -1,0 +1,185 @@
+"""Truss decomposition with anchor edges and peeling layers (Algorithm 1).
+
+The decomposition assigns to every non-anchored edge ``e``:
+
+* its *trussness* ``t(e)`` — the largest k such that a k-truss contains it
+  (Definition 3), and
+* its *layer* ``l(e)`` — the synchronous peeling round, inside the phase
+  that removes the k-hull of ``t(e)``, in which ``e`` is removed.
+
+Anchored edges are never removed: their support is conceptually ``+inf``
+(Section II-A of the paper), so they keep closing triangles for the
+remaining edges at every level of the peeling.
+
+Layer semantics
+---------------
+Algorithm 1 in the paper removes one edge at a time and speaks of the
+"i-th iteration".  We use the standard synchronous ("wave") definition:
+round ``i`` of phase ``k`` removes exactly the edges whose support is at
+most ``k - 2`` in the graph that remains after round ``i - 1``.  This
+definition is deterministic (independent of tie-breaking within a round)
+and is the one under which the upward-route characterisation of followers
+(Lemma 2) holds; see DESIGN.md §3.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.utils.errors import InvalidEdgeError, InvalidParameterError
+
+
+@dataclass(frozen=True)
+class TrussDecomposition:
+    """Result of a (possibly anchored) truss decomposition.
+
+    Attributes
+    ----------
+    trussness:
+        ``t(e)`` for every non-anchored edge.
+    layer:
+        ``l(e)``: the synchronous peeling round (1-based) within the phase
+        that removed ``e``.
+    anchors:
+        The anchored edges (kept forever; they have no trussness entry).
+    k_max:
+        The largest trussness value assigned (2 if the graph has no
+        non-anchored edges in triangles; 1 for an empty graph).
+    """
+
+    trussness: Dict[Edge, int]
+    layer: Dict[Edge, int]
+    anchors: FrozenSet[Edge]
+    k_max: int
+
+    def hull(self, k: int) -> Set[Edge]:
+        """The k-hull: all (non-anchored) edges with trussness exactly k."""
+        return {edge for edge, value in self.trussness.items() if value == k}
+
+    def hulls(self) -> Dict[int, Set[Edge]]:
+        """All k-hulls keyed by k."""
+        result: Dict[int, Set[Edge]] = {}
+        for edge, value in self.trussness.items():
+            result.setdefault(value, set()).add(edge)
+        return result
+
+    def layers_of_hull(self, k: int) -> Dict[int, Set[Edge]]:
+        """The layers ``L_k^i`` of the k-hull, keyed by layer index ``i``."""
+        result: Dict[int, Set[Edge]] = {}
+        for edge, value in self.trussness.items():
+            if value == k:
+                result.setdefault(self.layer[edge], set()).add(edge)
+        return result
+
+
+def truss_decomposition(
+    graph: Graph, anchors: Iterable[Edge] = ()
+) -> TrussDecomposition:
+    """Run truss decomposition of ``graph`` with the given anchored edges.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (not modified).
+    anchors:
+        Edges treated as having infinite support.  They must exist in the
+        graph; otherwise :class:`InvalidEdgeError` is raised.
+
+    Returns
+    -------
+    TrussDecomposition
+
+    Notes
+    -----
+    The running time is ``O(m^{1.5})`` triangle-listing time plus the cost of
+    the per-phase scans, matching the complexity quoted in the paper for
+    Algorithm 1.
+    """
+    anchor_set: FrozenSet[Edge] = frozenset(graph.require_edge(e) for e in anchors)
+
+    # Live adjacency copy; edges are removed from it as they are peeled.
+    adjacency: Dict[object, Set[object]] = {u: set(graph.neighbors(u)) for u in graph.vertices()}
+
+    support: Dict[Edge, int] = {}
+    for u, v in graph.edges():
+        edge = normalize_edge(u, v)
+        small, large = (u, v) if len(adjacency[u]) <= len(adjacency[v]) else (v, u)
+        support[edge] = sum(1 for w in adjacency[small] if w in adjacency[large])
+
+    remaining: Set[Edge] = set(support)
+    non_anchor_remaining: Set[Edge] = remaining - anchor_set
+
+    trussness: Dict[Edge, int] = {}
+    layer: Dict[Edge, int] = {}
+
+    def remove_edge(edge: Edge) -> List[Edge]:
+        """Remove ``edge`` from the live structures; return edges whose support dropped."""
+        u, v = edge
+        affected: List[Edge] = []
+        common = adjacency[u] & adjacency[v]
+        for w in common:
+            for other in (normalize_edge(u, w), normalize_edge(v, w)):
+                if other in remaining:
+                    support[other] -= 1
+                    affected.append(other)
+        adjacency[u].discard(v)
+        adjacency[v].discard(u)
+        remaining.discard(edge)
+        non_anchor_remaining.discard(edge)
+        return affected
+
+    k = 2
+    while non_anchor_remaining:
+        threshold = k - 2
+        frontier = sorted(e for e in non_anchor_remaining if support[e] <= threshold)
+        layer_index = 0
+        scheduled: Set[Edge] = set(frontier)
+        while frontier:
+            layer_index += 1
+            next_frontier: List[Edge] = []
+            for edge in frontier:
+                trussness[edge] = k
+                layer[edge] = layer_index
+                for other in remove_edge(edge):
+                    if (
+                        other not in scheduled
+                        and other in non_anchor_remaining
+                        and support[other] <= threshold
+                    ):
+                        scheduled.add(other)
+                        next_frontier.append(other)
+            frontier = sorted(next_frontier)
+        k += 1
+
+    k_max = max(trussness.values(), default=1)
+    return TrussDecomposition(
+        trussness=trussness, layer=layer, anchors=anchor_set, k_max=k_max
+    )
+
+
+def trussness_gain(
+    before: TrussDecomposition, after: TrussDecomposition, exclude: Iterable[Edge] = ()
+) -> int:
+    """Total trussness gain between two decompositions (Definition 4).
+
+    ``exclude`` is the anchor set A; anchored edges contribute no gain.
+    Edges that are anchored in ``after`` but not listed in ``exclude`` are
+    also skipped (they have no trussness in ``after``).
+    """
+    excluded = {normalize_edge(*e) for e in exclude} | set(after.anchors)
+    gain = 0
+    for edge, old_value in before.trussness.items():
+        if edge in excluded:
+            continue
+        new_value = after.trussness.get(edge)
+        if new_value is None:
+            raise InvalidEdgeError(edge, f"edge {edge!r} missing from the second decomposition")
+        if new_value < old_value:
+            raise InvalidParameterError(
+                f"trussness of {edge!r} decreased from {old_value} to {new_value}; "
+                "anchoring can never decrease trussness"
+            )
+        gain += new_value - old_value
+    return gain

@@ -1,0 +1,26 @@
+"""Small shared utilities used across the :mod:`repro` package.
+
+The utilities are intentionally dependency-free: the core library only
+relies on the Python standard library so that the algorithms mirror the
+paper's C++ implementation structure (plain adjacency sets, heaps and
+dictionaries) rather than delegating to an external graph engine.
+"""
+
+from repro.utils.errors import (
+    GraphError,
+    InvalidEdgeError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.utils.rng import make_rng
+from repro.utils.timer import Timer, timed
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InvalidEdgeError",
+    "InvalidParameterError",
+    "make_rng",
+    "Timer",
+    "timed",
+]

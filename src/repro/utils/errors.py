@@ -1,0 +1,29 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+A dedicated hierarchy lets callers distinguish user errors (bad parameters,
+unknown edges) from internal invariant violations, and lets the test-suite
+assert that invalid inputs are rejected loudly instead of producing silent
+nonsense.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for structural graph problems (missing vertices, self loops...)."""
+
+
+class InvalidEdgeError(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, edge: object, message: str | None = None) -> None:
+        self.edge = edge
+        super().__init__(message or f"edge {edge!r} is not present in the graph")
+
+
+class InvalidParameterError(ReproError):
+    """Raised when an algorithm receives an out-of-range or malformed parameter."""

@@ -1,0 +1,26 @@
+"""Seeded random number helpers.
+
+Every stochastic component of the library (synthetic generators, random
+baselines, sampling) accepts either an integer seed or an existing
+:class:`random.Random` instance.  Centralising the coercion here keeps the
+behaviour consistent and the experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | random.Random | None = None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a non-deterministic generator, an ``int`` for a seeded
+        generator, or an existing :class:`random.Random` which is returned
+        unchanged (so callers can thread one generator through a pipeline).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

@@ -1,0 +1,55 @@
+"""Lightweight wall-clock timing utilities used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    The experiment harness uses one timer per algorithm so that tables such
+    as the paper's Table III can report per-algorithm running times.
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("timer is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("timer is not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        """Context manager form: ``with timer.measure(): ...``."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+def timed(func: Callable[[], T]) -> tuple[T, float]:
+    """Run ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start

@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    community_graph,
+    erdos_renyi_graph,
+    overlapping_cliques_graph,
+    paper_figure1_graph,
+    paper_figure3_graph,
+    powerlaw_cluster_graph,
+)
+from repro.graph.graph import Graph
+from repro.truss.state import TrussState
+
+
+@pytest.fixture
+def fig3_graph() -> Graph:
+    """The paper's running example (Fig. 3 / Fig. 4)."""
+    return paper_figure3_graph()
+
+
+@pytest.fixture
+def fig3_state(fig3_graph: Graph) -> TrussState:
+    return TrussState.compute(fig3_graph)
+
+
+@pytest.fixture
+def fig1_graph() -> Graph:
+    """The non-submodularity example built around Fig. 1(a)."""
+    return paper_figure1_graph()
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """One triangle."""
+    return Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+
+
+@pytest.fixture
+def two_communities() -> Graph:
+    """A small community graph with a rich truss hierarchy."""
+    return community_graph([12, 10], p_in=0.7, p_out=0.05, seed=11)
+
+
+@pytest.fixture
+def clique_chain() -> Graph:
+    """Overlapping cliques: deep truss component tree."""
+    return overlapping_cliques_graph(4, 6, 2, noise_edges=8, seed=12)
+
+
+def random_test_graph(seed: int, min_n: int = 6, max_n: int = 16) -> Graph:
+    """A small random graph with enough triangles to be interesting."""
+    rng = random.Random(seed)
+    n = rng.randint(min_n, max_n)
+    style = rng.choice(["er", "plc", "community"])
+    if style == "er":
+        return erdos_renyi_graph(n, rng.uniform(0.25, 0.55), seed=seed)
+    if style == "plc":
+        m = min(3, n - 2)
+        return powerlaw_cluster_graph(n, max(1, m), rng.uniform(0.3, 0.9), seed=seed)
+    return community_graph([n // 2, n - n // 2], p_in=0.6, p_out=0.1, seed=seed)
+
+
+# Hypothesis strategy: a small random graph described by an integer seed.
+graph_seeds = st.integers(min_value=0, max_value=10_000)

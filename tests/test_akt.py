@@ -1,0 +1,116 @@
+"""Tests for the AKT vertex-anchoring baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.akt import akt_best_k, akt_gain_for_k, akt_greedy, anchored_k_truss
+from repro.core.gas import gas
+from repro.graph.generators import paper_figure3_graph
+from repro.graph.graph import Graph
+from repro.truss.state import TrussState
+from repro.utils.errors import InvalidParameterError
+
+from tests.conftest import random_test_graph
+
+
+class TestAnchoredKTruss:
+    def test_without_anchors_equals_plain_k_truss(self, fig3_graph):
+        state = TrussState.compute(fig3_graph)
+        retained = anchored_k_truss(fig3_graph, 4, [], state)
+        expected = {e for e in fig3_graph.edges() if state.trussness(e) >= 4}
+        assert retained == expected
+
+    def test_example1_anchoring_keeps_incident_edges(self, fig3_graph):
+        """Anchoring v10 keeps (v9,v10) ... only if it still closes a triangle
+        with the retained subgraph; here (v8,v9) and (v8,v10) leave/stay."""
+        state = TrussState.compute(fig3_graph)
+        retained = anchored_k_truss(fig3_graph, 4, [9], state)
+        # (8,9) is incident to the anchored vertex 9 and closes the triangle
+        # (8, 9, 10)?  No: (9,10) is not retained unless it also closes one.
+        assert (7, 9) in retained  # ordinary 4-truss edge unaffected
+        for edge in retained:
+            assert state.trussness(edge) >= 3  # never pulls in 2-trussness edges
+
+    def test_k_must_be_at_least_three(self, fig3_graph):
+        with pytest.raises(InvalidParameterError):
+            anchored_k_truss(fig3_graph, 2, [1])
+
+    def test_gain_counts_only_k_minus_one_edges(self, fig3_graph):
+        state = TrussState.compute(fig3_graph)
+        gain = akt_gain_for_k(fig3_graph, 4, [9, 10], state)
+        retained = anchored_k_truss(fig3_graph, 4, [9, 10], state)
+        manual = sum(1 for e in retained if state.trussness(e) == 3)
+        assert gain == manual
+
+
+class TestGreedyAkt:
+    def test_budget_respected(self, fig3_graph):
+        anchors, gain = akt_greedy(fig3_graph, 4, 2)
+        assert len(anchors) <= 2
+        assert gain >= 0
+
+    def test_zero_budget(self, fig3_graph):
+        anchors, gain = akt_greedy(fig3_graph, 4, 0)
+        assert anchors == []
+        assert gain == 0
+
+    def test_greedy_gain_is_monotone_in_budget(self, two_communities):
+        _a1, g1 = akt_greedy(two_communities, 4, 1, max_candidates=10)
+        _a2, g2 = akt_greedy(two_communities, 4, 2, max_candidates=10)
+        assert g2 >= g1
+
+    def test_candidates_limited_to_hull_endpoints(self, fig3_graph):
+        state = TrussState.compute(fig3_graph)
+        anchors, _gain = akt_greedy(fig3_graph, 4, 2, state)
+        hull_vertices = set()
+        for u, v in state.decomposition.hull(3):
+            hull_vertices.update((u, v))
+        assert set(anchors) <= hull_vertices
+
+    def test_best_k_returns_requested_values(self, fig3_graph):
+        gains = akt_best_k(fig3_graph, 2, k_values=[4, 5], max_candidates=10)
+        assert set(gains) == {4, 5}
+        assert all(value >= 0 for value in gains.values())
+
+
+class TestModelInvariants:
+    """Invariants of the vertex-anchoring model itself.
+
+    Note: unlike the paper's large SNAP graphs, tiny random graphs do not
+    always favour edge anchoring over vertex anchoring for the same (small)
+    budget — a vertex anchor relaxes the constraint of *every* incident
+    edge, which is a big head start when budgets are 2-3.  The cross-model
+    comparison of Exp-9 is therefore exercised at the experiment level
+    (Table V / Fig. 7 / Fig. 11 harness) and discussed in EXPERIMENTS.md,
+    while the unit tests check model-level invariants only.
+    """
+
+    @pytest.mark.parametrize("seed", [901, 902, 903])
+    def test_akt_gain_is_bounded_by_the_hull_size(self, seed):
+        graph = random_test_graph(seed, min_n=12, max_n=18)
+        if graph.num_edges < 10:
+            pytest.skip("graph too small")
+        state = TrussState.compute(graph)
+        budget = 3
+        gains = akt_best_k(graph, budget, state, max_candidates=10)
+        hulls = state.decomposition.hulls()
+        for k, gain in gains.items():
+            assert 0 <= gain <= len(hulls.get(k - 1, ()))
+
+    def test_gas_beats_akt_on_the_dense_stand_in(self):
+        """On the clique-rich graphs that resemble the paper's datasets the
+        paper's qualitative claim (edge anchoring wins) does reproduce."""
+        graph = community_graph_for_akt()
+        state = TrussState.compute(graph)
+        budget = 3
+        gas_gain = gas(graph, budget).gain
+        gains = akt_best_k(graph, budget, state, max_candidates=10)
+        assert gas_gain >= max(gains.values(), default=0)
+
+
+def community_graph_for_akt():
+    """A community graph with long peeling cascades (deep hull layers)."""
+    from repro.graph.generators import community_graph
+
+    return community_graph([40, 35], p_in=0.5, p_out=0.01, seed=77)

@@ -1,0 +1,55 @@
+"""Tests for the repro-atr command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import paper_figure3_graph
+from repro.graph.io import write_edge_list
+
+
+class TestDatasets:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "College" in output
+        assert "Pokec" in output
+
+
+class TestSolve:
+    def test_solve_on_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "fig3.txt"
+        write_edge_list(paper_figure3_graph(), path)
+        assert main(["solve", "--edge-list", str(path), "--algorithm", "gas", "-b", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "GAS" in output
+        assert "gain=3" in output
+
+    def test_solve_requires_exactly_one_source(self, capsys):
+        assert main(["solve", "--algorithm", "gas"]) == 2
+        assert main(["solve", "--dataset", "college", "--edge-list", "x.txt"]) == 2
+
+    def test_solve_with_random_baseline(self, tmp_path, capsys):
+        path = tmp_path / "fig3.txt"
+        write_edge_list(paper_figure3_graph(), path)
+        assert main(["solve", "--edge-list", str(path), "--algorithm", "rand", "-b", "2"]) == 0
+        assert "Rand" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_table4_via_cli(self, capsys):
+        assert main(["experiment", "table4", "--profile", "quick"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "does-not-exist"])
+
+
+class TestReport:
+    def test_report_with_subset(self, capsys):
+        assert main(["report", "--profile", "quick", "--only", "table4"]) == 0
+        output = capsys.readouterr().out
+        assert "ATR experiment report" in output
+        assert "Table IV" in output

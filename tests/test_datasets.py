@@ -1,0 +1,72 @@
+"""Tests for the dataset registry (stand-ins for the SNAP networks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    dataset_names,
+    dataset_statistics,
+    extract_ego_subgraph,
+    load_dataset,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+class TestRegistry:
+    def test_eight_datasets_registered(self):
+        assert len(DATASETS) == 8
+        assert dataset_names() == list(DATASETS)
+
+    def test_size_class_filter(self):
+        smalls = dataset_names(["small"])
+        assert "college" in smalls
+        assert "pokec" not in smalls
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("twitter")
+
+    def test_datasets_are_memoised(self):
+        assert load_dataset("college") is load_dataset("college")
+
+    def test_datasets_ordered_by_increasing_size_roughly(self):
+        """The registry mirrors the paper's ordering: college smallest, the
+        large stand-ins at the end."""
+        sizes = {name: load_dataset(name).num_edges for name in ("college", "pokec")}
+        assert sizes["college"] < sizes["pokec"]
+
+    @pytest.mark.parametrize("name", ["college", "facebook", "brightkite"])
+    def test_statistics_contain_table3_columns(self, name):
+        stats = dataset_statistics(name)
+        assert {"dataset", "vertices", "edges", "k_max", "sup_max"} <= set(stats)
+        assert stats["edges"] > 0
+        assert stats["k_max"] >= 3
+
+    def test_determinism(self):
+        load_dataset.cache_clear()
+        first = load_dataset("college")
+        load_dataset.cache_clear()
+        second = load_dataset("college")
+        assert first == second
+
+
+class TestEgoExtraction:
+    def test_extraction_respects_target(self):
+        graph = load_dataset("facebook")
+        sub = extract_ego_subgraph(graph, 60, seed=1)
+        assert sub.num_edges >= 60
+        # the one-vertex-at-a-time policy keeps the overshoot moderate
+        assert sub.num_edges <= 60 + max(60, sub.num_vertices)
+
+    def test_extraction_is_connected_subgraph_of_original(self):
+        graph = load_dataset("college")
+        sub = extract_ego_subgraph(graph, 50, seed=2)
+        for edge in sub.edges():
+            assert graph.has_edge(*edge)
+
+    def test_invalid_target(self):
+        graph = load_dataset("college")
+        with pytest.raises(InvalidParameterError):
+            extract_ego_subgraph(graph, 0)

@@ -1,0 +1,52 @@
+"""Tests for the edge-deletion baseline of the case study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edge_deletion import edge_deletion_baseline, trussness_loss_of_removal
+from repro.core.gas import gas
+from repro.graph.generators import complete_graph
+from repro.utils.errors import InvalidParameterError
+
+
+class TestRemovalLoss:
+    def test_removing_a_clique_edge_hurts_the_whole_clique(self):
+        graph = complete_graph(5)
+        loss = trussness_loss_of_removal(graph, (0, 1))
+        # every remaining edge drops from trussness 5 to 4
+        assert loss == 9
+
+    def test_removing_a_pendant_edge_costs_nothing(self, fig3_graph):
+        assert trussness_loss_of_removal(fig3_graph, (9, 10)) == 0
+
+    def test_unknown_edge(self, fig3_graph):
+        with pytest.raises(Exception):
+            trussness_loss_of_removal(fig3_graph, (1, 99))
+
+
+class TestBaseline:
+    def test_budget_respected(self, fig3_graph):
+        result = edge_deletion_baseline(fig3_graph, 2, max_candidates=20)
+        assert len(result.anchors) == 2
+        assert result.algorithm == "Edge-deletion"
+        assert result.gain >= 0
+
+    def test_prefers_high_trussness_edges(self, fig3_graph):
+        from repro.truss.state import TrussState
+
+        state = TrussState.compute(fig3_graph)
+        result = edge_deletion_baseline(fig3_graph, 1, max_candidates=None)
+        chosen = result.anchors[0]
+        assert state.trussness(chosen) >= 4
+
+    def test_negative_budget(self, fig3_graph):
+        with pytest.raises(InvalidParameterError):
+            edge_deletion_baseline(fig3_graph, -1)
+
+    def test_case_study_shape_gas_wins(self, two_communities):
+        """Fig. 7: anchoring removal-critical edges lifts less than GAS."""
+        budget = 3
+        gas_result = gas(two_communities, budget)
+        deletion_result = edge_deletion_baseline(two_communities, budget, max_candidates=30)
+        assert gas_result.gain >= deletion_result.gain

@@ -1,0 +1,53 @@
+"""Tests for the exhaustive Exact solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import exact_atr
+from repro.core.gas import gas
+from repro.graph.generators import complete_graph
+from repro.utils.errors import InvalidParameterError
+
+from tests.conftest import random_test_graph
+
+
+class TestOptimality:
+    def test_figure3_single_anchor(self, fig3_graph):
+        result = exact_atr(fig3_graph, 1)
+        assert result.gain == 3
+        assert result.anchors == [(9, 10)]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_never_worse_than_greedy(self, seed):
+        graph = random_test_graph(seed + 900, min_n=8, max_n=12)
+        if graph.num_edges < 4 or graph.num_edges > 40:
+            pytest.skip("graph outside the exhaustive-friendly range")
+        budget = 2
+        optimal = exact_atr(graph, budget)
+        greedy = gas(graph, budget)
+        assert optimal.gain >= greedy.gain
+
+    def test_candidate_pool_restriction(self, fig3_graph):
+        pool = [(3, 4), (9, 10)]
+        result = exact_atr(fig3_graph, 1, candidates=pool)
+        assert result.anchors == [(9, 10)]
+
+    def test_budget_larger_than_pool(self, triangle_graph):
+        result = exact_atr(triangle_graph, 5)
+        assert len(result.anchors) == 3
+
+
+class TestGuards:
+    def test_combination_limit(self):
+        graph = complete_graph(30)  # 435 edges
+        with pytest.raises(InvalidParameterError):
+            exact_atr(graph, 4, max_combinations=1000)
+
+    def test_negative_budget(self, fig3_graph):
+        with pytest.raises(InvalidParameterError):
+            exact_atr(fig3_graph, -1)
+
+    def test_evaluated_subsets_reported(self, triangle_graph):
+        result = exact_atr(triangle_graph, 1)
+        assert result.extra["evaluated_subsets"] == 3

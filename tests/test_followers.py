@@ -1,0 +1,136 @@
+"""Tests for the follower computation (Section III-B, Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.followers import (
+    FollowerMethod,
+    compute_followers,
+    followers_by_recompute,
+    followers_candidate_peel,
+    followers_support_check,
+    trussness_gain_of_anchor,
+)
+from repro.graph.generators import complete_graph
+from repro.truss.state import TrussState
+from repro.utils.errors import InvalidParameterError
+
+from tests.conftest import random_test_graph
+
+
+class TestFigure3Example:
+    """Example 4 of the paper, worked end to end."""
+
+    def test_anchor_v9_v10_lifts_the_three_hull_edges(self, fig3_state):
+        expected = {(8, 9), (7, 8), (5, 8)}
+        assert followers_by_recompute(fig3_state, (9, 10)) == expected
+        assert followers_candidate_peel(fig3_state, (9, 10)) == expected
+        assert followers_support_check(fig3_state, (9, 10)) == expected
+
+    def test_edge_v8_v10_is_not_lifted(self, fig3_state):
+        """The H4 route of Example 4 dies at the support check."""
+        followers = followers_support_check(fig3_state, (9, 10))
+        assert (8, 10) not in followers
+
+    def test_gain_equals_follower_count(self, fig3_state):
+        assert trussness_gain_of_anchor(fig3_state, (9, 10)) == 3
+
+    def test_anchor_inside_clique_has_no_followers(self, fig3_state):
+        assert followers_support_check(fig3_state, (3, 4)) == set()
+        assert followers_by_recompute(fig3_state, (3, 4)) == set()
+
+
+class TestMethodEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_all_methods_agree_on_random_graphs(self, seed):
+        graph = random_test_graph(seed, min_n=8, max_n=16)
+        if graph.num_edges == 0:
+            pytest.skip("empty random graph")
+        state = TrussState.compute(graph)
+        for edge in graph.edges():
+            reference = followers_by_recompute(state, edge)
+            assert followers_candidate_peel(state, edge) == reference
+            assert followers_support_check(state, edge) == reference
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_methods_agree_with_existing_anchors(self, seed):
+        graph = random_test_graph(seed + 300, min_n=10, max_n=16)
+        if graph.num_edges < 4:
+            pytest.skip("graph too small")
+        edges = graph.edge_list()
+        state = TrussState.compute(graph, anchors=edges[:2])
+        for edge in edges[2:]:
+            reference = followers_by_recompute(state, edge)
+            assert followers_support_check(state, edge) == reference
+            assert followers_candidate_peel(state, edge) == reference
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_single_anchor_lifts_each_edge_by_at_most_one(self, seed):
+        graph = random_test_graph(seed + 100, min_n=8, max_n=16)
+        if graph.num_edges == 0:
+            pytest.skip("empty random graph")
+        state = TrussState.compute(graph)
+        for edge in list(graph.edges())[:10]:
+            anchored = state.with_anchor(edge)
+            for other in anchored.decomposition.trussness:
+                assert (
+                    anchored.decomposition.trussness[other]
+                    - state.decomposition.trussness[other]
+                ) in (0, 1)
+
+
+class TestValidation:
+    def test_anchoring_an_anchor_is_rejected(self, fig3_graph):
+        state = TrussState.compute(fig3_graph, anchors=[(9, 10)])
+        with pytest.raises(InvalidParameterError):
+            followers_support_check(state, (9, 10))
+        with pytest.raises(InvalidParameterError):
+            followers_by_recompute(state, (9, 10))
+
+    def test_recompute_rejects_candidate_filter(self, fig3_state):
+        with pytest.raises(InvalidParameterError):
+            compute_followers(
+                fig3_state, (9, 10), method="recompute", candidate_filter={(8, 9)}
+            )
+
+    def test_dispatcher_accepts_strings(self, fig3_state):
+        assert compute_followers(fig3_state, (9, 10), method="peel") == {
+            (8, 9),
+            (7, 8),
+            (5, 8),
+        }
+        assert compute_followers(fig3_state, (9, 10), method=FollowerMethod.RECOMPUTE) == {
+            (8, 9),
+            (7, 8),
+            (5, 8),
+        }
+
+
+class TestCandidateFilter:
+    def test_filter_restricts_results_to_given_edges(self, fig3_state):
+        full = followers_support_check(fig3_state, (9, 10))
+        restricted = followers_support_check(
+            fig3_state, (9, 10), candidate_filter={(8, 9), (7, 8), (5, 8)}
+        )
+        assert restricted == full
+        nothing = followers_support_check(fig3_state, (9, 10), candidate_filter={(8, 10)})
+        assert nothing == set()
+
+
+class TestDegenerateCases:
+    def test_clique_edge_has_no_followers(self):
+        state = TrussState.compute(complete_graph(6))
+        for edge in state.graph.edges():
+            assert followers_support_check(state, edge) == set()
+
+    def test_triangle_free_graph(self):
+        from repro.graph.graph import Graph
+
+        graph = Graph.from_edges([(1, 2), (2, 3), (3, 4), (4, 5)])
+        state = TrussState.compute(graph)
+        for edge in graph.edges():
+            assert followers_support_check(state, edge) == set()
+            assert followers_by_recompute(state, edge) == set()

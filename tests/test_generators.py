@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_with_shortcuts,
+    overlapping_cliques_graph,
+    paper_figure1_graph,
+    paper_figure3_graph,
+    powerlaw_cluster_graph,
+    union_of_graphs,
+    watts_strogatz_graph,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+class TestClassicModels:
+    def test_complete_graph_edge_count(self):
+        g = complete_graph(7)
+        assert g.num_edges == 21
+
+    def test_complete_graph_offset(self):
+        g = complete_graph(3, offset=10)
+        assert set(g.vertices()) == {10, 11, 12}
+
+    def test_erdos_renyi_determinism(self):
+        a = erdos_renyi_graph(30, 0.2, seed=1)
+        b = erdos_renyi_graph(30, 0.2, seed=1)
+        assert a == b
+
+    def test_erdos_renyi_p_bounds(self):
+        assert erdos_renyi_graph(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0, seed=1).num_edges == 45
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_barabasi_albert_sizes(self):
+        g = barabasi_albert_graph(50, 3, seed=2)
+        assert g.num_vertices == 50
+        # every new vertex adds at most m edges
+        assert g.num_edges <= 3 * 50
+
+    def test_barabasi_albert_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert_graph(3, 5)
+
+    def test_watts_strogatz_degree(self):
+        g = watts_strogatz_graph(30, 4, 0.0, seed=3)
+        assert all(g.degree(u) == 4 for u in g.vertices())
+
+    def test_watts_strogatz_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd k
+        with pytest.raises(InvalidParameterError):
+            watts_strogatz_graph(10, 4, 2.0)
+
+    def test_powerlaw_cluster_has_triangles(self):
+        from repro.graph.triangles import triangles_of_graph
+
+        g = powerlaw_cluster_graph(60, 3, 0.8, seed=4)
+        assert g.num_vertices == 60
+        assert len(list(triangles_of_graph(g))) > 10
+
+
+class TestStructuredModels:
+    def test_community_graph_vertex_count(self):
+        g = community_graph([10, 12, 8], p_in=0.5, p_out=0.02, seed=5)
+        assert g.num_vertices == 30
+
+    def test_community_graph_denser_inside(self):
+        g = community_graph([20, 20], p_in=0.8, p_out=0.01, seed=6)
+        inside = sum(1 for u, v in g.edges() if (u < 20) == (v < 20))
+        across = g.num_edges - inside
+        assert inside > across
+
+    def test_community_graph_requires_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            community_graph([], 0.5, 0.1)
+
+    def test_overlapping_cliques(self):
+        g = overlapping_cliques_graph(3, 5, 2, seed=7)
+        # 5 + 3 + 3 vertices
+        assert g.num_vertices == 11
+
+    def test_overlapping_cliques_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            overlapping_cliques_graph(3, 2, 1)
+        with pytest.raises(InvalidParameterError):
+            overlapping_cliques_graph(3, 5, 5)
+
+    def test_grid_with_shortcuts_sizes(self):
+        g = grid_with_shortcuts(4, 5, diagonal_probability=1.0)
+        assert g.num_vertices == 20
+        # grid edges + one diagonal per cell
+        assert g.num_edges == (4 * 4 + 5 * 3) + 12
+
+    def test_grid_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            grid_with_shortcuts(1, 5)
+
+    def test_union_of_graphs_relabel(self):
+        a = complete_graph(3)
+        b = complete_graph(4)
+        u = union_of_graphs([a, b])
+        assert u.num_vertices == 7
+        assert u.num_edges == 3 + 6
+
+
+class TestPaperGraphs:
+    def test_figure3_shape(self):
+        g = paper_figure3_graph()
+        assert g.num_vertices == 13
+        assert g.num_edges == 32
+
+    def test_figure3_edge_id_order_matches_figure4(self):
+        g = paper_figure3_graph()
+        # paper edge ids are 1-based; ours are 0-based in the same order
+        assert g.edge_by_id(0) == (5, 8)
+        assert g.edge_by_id(3) == (9, 10)
+        assert g.edge_by_id(4) == (1, 2)
+        assert g.edge_by_id(22) == (3, 4)
+
+    def test_figure1_contains_anchor_candidates(self):
+        g = paper_figure1_graph()
+        assert g.has_edge(3, 8)
+        assert g.has_edge(5, 6)
+        assert g.has_edge(6, 8)

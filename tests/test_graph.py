@@ -1,0 +1,167 @@
+"""Unit tests for the Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph, normalize_edge
+from repro.utils.errors import GraphError, InvalidEdgeError
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            normalize_edge(3, 3)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 1)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.has_edge(1, 3)
+        assert g.has_edge(3, 1)
+
+    def test_duplicate_edges_ignored(self):
+        g = Graph.from_edges([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_add_vertex_is_idempotent(self):
+        g = Graph()
+        g.add_vertex(7)
+        g.add_vertex(7)
+        assert g.num_vertices == 1
+        assert g.degree(7) == 0
+
+    def test_copy_preserves_edge_ids(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        clone = g.copy()
+        for edge in g.edges():
+            assert g.edge_id(edge) == clone.edge_id(edge)
+        clone.add_edge(4, 5)
+        assert not g.has_edge(4, 5)
+
+
+class TestEdgeIds:
+    def test_ids_are_assigned_in_insertion_order(self):
+        g = Graph.from_edges([(1, 2), (1, 3), (2, 3)])
+        assert g.edge_id((1, 2)) == 0
+        assert g.edge_id((1, 3)) == 1
+        assert g.edge_id((2, 3)) == 2
+        assert g.edge_by_id(1) == (1, 3)
+
+    def test_edge_id_accepts_unordered_tuple(self):
+        g = Graph.from_edges([(1, 2)])
+        assert g.edge_id((2, 1)) == 0
+
+    def test_unknown_edge_raises(self):
+        g = Graph.from_edges([(1, 2)])
+        with pytest.raises(InvalidEdgeError):
+            g.edge_id((1, 3))
+        with pytest.raises(InvalidEdgeError):
+            g.edge_by_id(99)
+
+    def test_ids_not_reused_after_removal(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        edge = g.add_edge(3, 4)
+        assert g.edge_id(edge) == 2
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph.from_edges([(1, 2)])
+        with pytest.raises(InvalidEdgeError):
+            g.remove_edge(1, 3)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 1)])
+        g.remove_vertex(2)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_missing_vertex_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.remove_vertex(1)
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = Graph.from_edges([(1, 2), (1, 3), (1, 4)])
+        assert g.neighbors(1) == {2, 3, 4}
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+
+    def test_neighbors_of_missing_vertex_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.neighbors(1)
+
+    def test_contains(self):
+        g = Graph.from_edges([(1, 2)])
+        assert 1 in g
+        assert (1, 2) in g
+        assert (2, 1) in g
+        assert (1, 3) not in g
+        assert 5 not in g
+
+    def test_edge_list_is_in_id_order(self):
+        g = Graph.from_edges([(3, 4), (1, 2), (2, 3)])
+        assert g.edge_list() == [(3, 4), (1, 2), (2, 3)]
+
+    def test_equality_ignores_edge_ids(self):
+        a = Graph.from_edges([(1, 2), (2, 3)])
+        b = Graph.from_edges([(2, 3), (1, 2)])
+        assert a == b
+
+    def test_repr_mentions_sizes(self):
+        g = Graph.from_edges([(1, 2)])
+        assert "n=2" in repr(g)
+        assert "m=1" in repr(g)
+
+
+class TestSubgraphs:
+    def test_vertex_induced_subgraph(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+
+    def test_edge_induced_subgraph(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        sub = g.edge_subgraph([(1, 2), (3, 4)])
+        assert sub.num_edges == 2
+        assert sub.num_vertices == 4
+
+    def test_edge_subgraph_requires_existing_edges(self):
+        g = Graph.from_edges([(1, 2)])
+        with pytest.raises(InvalidEdgeError):
+            g.edge_subgraph([(1, 3)])
+
+    def test_connected_components(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (10, 11)])
+        g.add_vertex(99)
+        components = sorted(g.connected_components(), key=len, reverse=True)
+        assert {1, 2, 3} in components
+        assert {10, 11} in components
+        assert {99} in components

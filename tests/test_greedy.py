@@ -1,0 +1,93 @@
+"""Tests for the BASE / BASE+ greedy solvers and their equivalence with GAS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.followers import FollowerMethod
+from repro.core.gas import gas
+from repro.core.greedy import base_greedy, base_plus_greedy
+from repro.graph.generators import community_graph, overlapping_cliques_graph
+from repro.utils.errors import InvalidParameterError
+
+from tests.conftest import random_test_graph
+
+
+class TestFigure3Greedy:
+    def test_first_anchor_is_the_hull_seed(self, fig3_graph):
+        """On the running example the best single anchor is (v9, v10)."""
+        result = base_plus_greedy(fig3_graph, 1)
+        assert result.anchors == [(9, 10)]
+        assert result.gain == 3
+
+    def test_base_and_base_plus_agree(self, fig3_graph):
+        assert base_greedy(fig3_graph, 2).anchors == base_plus_greedy(fig3_graph, 2).anchors
+
+
+class TestValidation:
+    def test_negative_budget(self, fig3_graph):
+        with pytest.raises(InvalidParameterError):
+            base_plus_greedy(fig3_graph, -1)
+        with pytest.raises(InvalidParameterError):
+            base_greedy(fig3_graph, -1)
+
+    def test_budget_above_edge_count(self, triangle_graph):
+        with pytest.raises(InvalidParameterError):
+            base_plus_greedy(triangle_graph, 10)
+
+    def test_zero_budget(self, fig3_graph):
+        result = base_plus_greedy(fig3_graph, 0)
+        assert result.anchors == []
+        assert result.gain == 0
+
+
+class TestResultBookkeeping:
+    def test_per_round_gain_has_budget_entries(self, fig3_graph):
+        result = base_plus_greedy(fig3_graph, 3)
+        assert len(result.per_round_gain) == 3
+        assert len(result.extra["cumulative_seconds_per_round"]) == 3
+        assert result.extra["follower_method"] == "support-check"
+
+    def test_initial_anchors_are_respected(self, fig3_graph):
+        result = base_plus_greedy(fig3_graph, 1, initial_anchors=[(9, 10)])
+        assert result.anchors[0] == (9, 10)
+        assert len(result.anchors) == 2
+
+    def test_cumulative_times_are_monotone(self, two_communities):
+        result = base_plus_greedy(two_communities, 3)
+        times = result.extra["cumulative_seconds_per_round"]
+        assert times == sorted(times)
+
+
+class TestSolverEquivalence:
+    """BASE, BASE+ and GAS must select identical anchors and gain."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivalence_on_random_graphs(self, seed):
+        graph = random_test_graph(seed + 700, min_n=10, max_n=16)
+        if graph.num_edges < 6:
+            pytest.skip("graph too small")
+        budget = 3
+        reference = base_greedy(graph, budget)
+        plus = base_plus_greedy(graph, budget)
+        fast = gas(graph, budget)
+        assert plus.anchors == reference.anchors
+        assert fast.anchors == reference.anchors
+        assert plus.gain == reference.gain == fast.gain
+
+    def test_equivalence_on_structured_graphs(self):
+        for graph in (
+            community_graph([12, 10], p_in=0.7, p_out=0.05, seed=91),
+            overlapping_cliques_graph(4, 6, 2, noise_edges=6, seed=92),
+        ):
+            budget = 4
+            plus = base_plus_greedy(graph, budget)
+            fast = gas(graph, budget)
+            assert plus.anchors == fast.anchors
+            assert plus.gain == fast.gain
+
+    def test_peel_method_gives_same_anchors(self, two_communities):
+        a = base_plus_greedy(two_communities, 3, method=FollowerMethod.PEEL)
+        b = base_plus_greedy(two_communities, 3, method=FollowerMethod.SUPPORT_CHECK)
+        assert a.anchors == b.anchors
+        assert a.gain == b.gain

@@ -1,0 +1,81 @@
+"""Unit tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.utils.errors import ReproError
+
+
+class TestReadEdgeList:
+    def test_basic_read(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment line\n0 1\n1 2\n2 0\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_directed_duplicates_are_merged(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n1 0\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_duplicates_can_be_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n1 0\n")
+        with pytest.raises(ReproError):
+            read_edge_list(path, directed_duplicates_ok=False)
+
+    def test_self_loops_are_dropped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 0\n0 1\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0\n")
+        with pytest.raises(ReproError):
+            read_edge_list(path)
+
+    def test_string_vertex_labels(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("alice bob\nbob carol\n")
+        g = read_edge_list(path)
+        assert g.has_edge("alice", "bob")
+        assert g.num_vertices == 3
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("\n0 1\n\n \n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+
+class TestWriteEdgeList:
+    def test_round_trip(self, tmp_path):
+        original = erdos_renyi_graph(25, 0.3, seed=17)
+        path = tmp_path / "graph.txt"
+        write_edge_list(original, path, header=["round trip test"])
+        loaded = read_edge_list(path)
+        assert loaded == original
+
+    def test_header_is_commented(self, tmp_path):
+        g = erdos_renyi_graph(5, 0.5, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header=["hello"])
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# hello"
+        assert lines[1].startswith("# vertices:")

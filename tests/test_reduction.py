@@ -1,0 +1,82 @@
+"""Tests that *execute* the NP-hardness reduction of Theorem 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import exact_atr
+from repro.core.followers import followers_by_recompute
+from repro.core.reduction import MaxCoverageInstance, build_atr_instance_from_coverage
+from repro.truss.state import TrussState
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    # s = 3 sets over t = 3 elements (mirrors Fig. 2 at reduced scale)
+    return MaxCoverageInstance.from_lists([[0, 2], [0, 1, 2], [2]], num_elements=3)
+
+
+@pytest.fixture(scope="module")
+def reduction(small_instance):
+    return build_atr_instance_from_coverage(small_instance)
+
+
+@pytest.fixture(scope="module")
+def reduction_state(reduction):
+    return TrussState.compute(reduction.graph)
+
+
+class TestInstance:
+    def test_coverage_helpers(self, small_instance):
+        assert small_instance.coverage([0]) == 2
+        assert small_instance.coverage([0, 2]) == 2
+        assert small_instance.coverage([0, 1]) == 3
+        assert small_instance.best_coverage(1) == 3
+        assert small_instance.best_coverage(2) == 3
+
+    def test_invalid_elements_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MaxCoverageInstance.from_lists([[5]], num_elements=3)
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_atr_instance_from_coverage(
+                MaxCoverageInstance(num_elements=0, sets=())
+            )
+
+
+class TestClaimedTrussness:
+    """The construction pins the trussness values used in the proof."""
+
+    def test_element_edges_have_trussness_t_plus_2(self, reduction, reduction_state):
+        expected = reduction.expected_element_trussness
+        for edge in reduction.element_edges:
+            assert reduction_state.trussness(edge) == expected
+
+    def test_set_edges_have_trussness_size_plus_2(self, reduction, reduction_state):
+        for index, edge in enumerate(reduction.set_edges):
+            assert reduction_state.trussness(edge) == reduction.expected_set_trussness(index)
+
+
+class TestGainBehaviour:
+    def test_anchoring_a_set_edge_lifts_exactly_its_elements(self, reduction, reduction_state):
+        for index, edge in enumerate(reduction.set_edges):
+            followers = followers_by_recompute(reduction_state, edge)
+            covered = reduction.instance.sets[index]
+            expected = {reduction.element_edges[j] for j in covered}
+            assert followers == expected
+
+    def test_anchoring_an_element_edge_gains_nothing(self, reduction, reduction_state):
+        for edge in reduction.element_edges:
+            assert followers_by_recompute(reduction_state, edge) == set()
+
+    def test_anchoring_two_sets_does_not_double_count(self, reduction, reduction_state):
+        a, b = reduction.set_edges[0], reduction.set_edges[1]
+        anchored = reduction_state.with_anchors([a, b])
+        gain = anchored.trussness_gain_from(reduction_state)
+        assert gain == reduction.instance.coverage([0, 1])
+
+    def test_optimal_atr_equals_optimal_coverage(self, reduction):
+        result = exact_atr(reduction.graph, 2, candidates=reduction.set_edges)
+        assert result.gain == reduction.instance.best_coverage(2)

@@ -1,0 +1,55 @@
+"""Tests for the AnchorResult container and evaluate_anchor_set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import AnchorResult, best_of, evaluate_anchor_set
+from repro.truss.state import TrussState
+
+
+class TestEvaluateAnchorSet:
+    def test_definition4_on_figure3(self, fig3_graph):
+        result = evaluate_anchor_set(fig3_graph, [(9, 10)], algorithm="manual")
+        assert result.gain == 3
+        assert result.followers == {(8, 9), (7, 8), (5, 8)}
+        assert result.gain_by_trussness == {3: 3}
+        assert result.algorithm == "manual"
+        assert result.budget == 1
+
+    def test_empty_anchor_set(self, fig3_graph):
+        result = evaluate_anchor_set(fig3_graph, [])
+        assert result.gain == 0
+        assert result.followers == set()
+
+    def test_baseline_state_can_be_shared(self, fig3_graph):
+        baseline = TrussState.compute(fig3_graph)
+        a = evaluate_anchor_set(fig3_graph, [(9, 10)], baseline_state=baseline)
+        b = evaluate_anchor_set(fig3_graph, [(9, 10)])
+        assert a.gain == b.gain
+
+    def test_anchor_edges_do_not_contribute_gain(self, fig3_graph):
+        with_follower_anchored = evaluate_anchor_set(fig3_graph, [(9, 10), (8, 9)])
+        assert (8, 9) not in with_follower_anchored.followers
+
+    def test_normalises_edges(self, fig3_graph):
+        result = evaluate_anchor_set(fig3_graph, [(10, 9)])
+        assert result.anchors == [(9, 10)]
+
+
+class TestAnchorResult:
+    def test_summary_contains_key_fields(self, fig3_graph):
+        result = evaluate_anchor_set(fig3_graph, [(9, 10)], algorithm="GAS")
+        text = result.summary()
+        assert "GAS" in text
+        assert "gain=3" in text
+
+    def test_best_of_picks_highest_gain(self):
+        a = AnchorResult(algorithm="a", anchors=[], gain=1)
+        b = AnchorResult(algorithm="b", anchors=[], gain=5)
+        c = AnchorResult(algorithm="c", anchors=[], gain=5)
+        assert best_of([a, b, c]) is b
+
+    def test_best_of_requires_results(self):
+        with pytest.raises(ValueError):
+            best_of([])

@@ -1,0 +1,72 @@
+"""Unit tests for vertex / edge sampling (Fig. 9 substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.sampling import sample_edges, sample_vertices, sampling_ratios
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture
+def base_graph():
+    return erdos_renyi_graph(60, 0.2, seed=21)
+
+
+class TestVertexSampling:
+    def test_full_rate_keeps_everything(self, base_graph):
+        sampled = sample_vertices(base_graph, 1.0, seed=1)
+        assert sampled.num_vertices == base_graph.num_vertices
+        assert sampled.num_edges == base_graph.num_edges
+
+    def test_half_rate_keeps_half_the_vertices(self, base_graph):
+        sampled = sample_vertices(base_graph, 0.5, seed=1)
+        assert sampled.num_vertices == round(0.5 * base_graph.num_vertices)
+        assert sampled.num_edges <= base_graph.num_edges
+
+    def test_sampled_graph_is_induced(self, base_graph):
+        sampled = sample_vertices(base_graph, 0.5, seed=2)
+        kept = set(sampled.vertices())
+        for u, v in base_graph.edges():
+            if u in kept and v in kept:
+                assert sampled.has_edge(u, v)
+
+    def test_invalid_rate(self, base_graph):
+        with pytest.raises(InvalidParameterError):
+            sample_vertices(base_graph, 0.0)
+        with pytest.raises(InvalidParameterError):
+            sample_vertices(base_graph, 1.5)
+
+    def test_deterministic_for_seed(self, base_graph):
+        a = sample_vertices(base_graph, 0.7, seed=3)
+        b = sample_vertices(base_graph, 0.7, seed=3)
+        assert a == b
+
+
+class TestEdgeSampling:
+    def test_edge_count(self, base_graph):
+        sampled = sample_edges(base_graph, 0.6, seed=4)
+        assert sampled.num_edges == round(0.6 * base_graph.num_edges)
+
+    def test_edges_are_subset(self, base_graph):
+        sampled = sample_edges(base_graph, 0.4, seed=5)
+        for edge in sampled.edges():
+            assert base_graph.has_edge(*edge)
+
+    def test_invalid_rate(self, base_graph):
+        with pytest.raises(InvalidParameterError):
+            sample_edges(base_graph, -0.1)
+
+
+class TestRatios:
+    def test_ratios_of_full_sample(self, base_graph):
+        v_ratio, e_ratio = sampling_ratios(base_graph, base_graph)
+        assert v_ratio == pytest.approx(1.0)
+        assert e_ratio == pytest.approx(1.0)
+
+    def test_ratios_of_partial_sample(self, base_graph):
+        sampled = sample_edges(base_graph, 0.5, seed=6)
+        v_ratio, e_ratio = sampling_ratios(base_graph, sampled)
+        assert 0 < e_ratio <= 0.51
+        assert 0 < v_ratio <= 1.0

@@ -1,0 +1,107 @@
+"""Unit tests for triangle / support utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+from repro.graph.triangles import (
+    common_neighbors,
+    edge_support,
+    neighbor_edges,
+    support_map,
+    triangle_connected_components,
+    triangles_of_edge,
+    triangles_of_graph,
+)
+
+
+class TestSupport:
+    def test_support_in_triangle(self, triangle_graph):
+        for edge in triangle_graph.edges():
+            assert edge_support(triangle_graph, edge) == 1
+
+    def test_support_in_clique(self):
+        g = complete_graph(6)
+        for edge in g.edges():
+            assert edge_support(g, edge) == 4
+
+    def test_support_of_bridge_is_zero(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        assert edge_support(g, (1, 2)) == 0
+
+    def test_support_map_matches_edge_support(self):
+        g = erdos_renyi_graph(15, 0.4, seed=5)
+        supports = support_map(g)
+        for edge in g.edges():
+            assert supports[edge] == edge_support(g, edge)
+
+    def test_common_neighbors(self):
+        g = Graph.from_edges([(1, 2), (1, 3), (2, 3), (2, 4), (1, 4)])
+        assert common_neighbors(g, 1, 2) == {3, 4}
+
+
+class TestTriangleEnumeration:
+    def test_triangles_of_edge(self):
+        g = complete_graph(4)
+        triangles = list(triangles_of_edge(g, (0, 1)))
+        apexes = {t[2] for t in triangles}
+        assert apexes == {2, 3}
+
+    def test_triangles_of_graph_counts(self):
+        g = complete_graph(5)
+        assert len(list(triangles_of_graph(g))) == 10  # C(5, 3)
+
+    def test_triangles_of_graph_unique(self):
+        g = erdos_renyi_graph(12, 0.5, seed=3)
+        triangles = list(triangles_of_graph(g))
+        assert len(triangles) == len(set(triangles))
+        for u, v, w in triangles:
+            assert u < v < w
+            assert g.has_edge(u, v) and g.has_edge(v, w) and g.has_edge(u, w)
+
+    def test_neighbor_edges_come_from_triangles(self):
+        g = complete_graph(4)
+        for e1, e2, w in neighbor_edges(g, (0, 1)):
+            assert w in (2, 3)
+            assert g.has_edge(*e1) and g.has_edge(*e2)
+            assert w in e1 and w in e2
+
+
+class TestTriangleConnectivity:
+    def test_single_clique_is_one_component(self):
+        g = complete_graph(5)
+        components = triangle_connected_components(g)
+        assert len(components) == 1
+        assert len(components[0]) == g.num_edges
+
+    def test_triangle_free_graph_gives_singletons(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        components = triangle_connected_components(g)
+        assert sorted(len(c) for c in components) == [1, 1, 1]
+
+    def test_two_cliques_joined_by_a_bridge(self):
+        g = complete_graph(4)
+        h = complete_graph(4, offset=10)
+        for u, v in h.edges():
+            g.add_edge(u, v)
+        g.add_edge(0, 10)  # bridge participates in no triangle
+        components = triangle_connected_components(g)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 6, 6]
+
+    def test_restriction_to_edge_subset(self):
+        g = complete_graph(4)
+        subset = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        components = triangle_connected_components(g, subset)
+        sizes = sorted(len(c) for c in components)
+        # (2,3) has no triangle entirely inside the subset
+        assert sizes == [1, 3]
+
+    def test_every_edge_assigned_exactly_once(self):
+        g = erdos_renyi_graph(20, 0.3, seed=9)
+        components = triangle_connected_components(g)
+        all_edges = [e for comp in components for e in comp]
+        assert len(all_edges) == g.num_edges
+        assert len(set(all_edges)) == g.num_edges

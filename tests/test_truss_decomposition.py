@@ -1,0 +1,120 @@
+"""Tests for truss decomposition (Algorithm 1) with anchors and layers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import complete_graph, erdos_renyi_graph, powerlaw_cluster_graph
+from repro.graph.graph import Graph
+from repro.truss.decomposition import truss_decomposition, trussness_gain
+from repro.utils.errors import InvalidEdgeError
+
+from tests.conftest import random_test_graph
+
+
+def networkx_trussness(graph: Graph):
+    """Reference trussness via networkx k_truss membership."""
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.vertices())
+    nx_graph.add_edges_from(graph.edges())
+    trussness = {edge: 2 for edge in graph.edges()}
+    k = 3
+    while True:
+        truss = nx.k_truss(nx_graph, k)
+        if truss.number_of_edges() == 0:
+            break
+        for u, v in truss.edges():
+            edge = (u, v) if u < v else (v, u)
+            trussness[edge] = k
+        k += 1
+    return trussness
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs_match_networkx(self, seed):
+        graph = random_test_graph(seed, min_n=8, max_n=20)
+        ours = truss_decomposition(graph).trussness
+        reference = networkx_trussness(graph)
+        assert ours == reference
+
+    def test_clique_trussness(self):
+        graph = complete_graph(8)
+        decomposition = truss_decomposition(graph)
+        assert all(value == 8 for value in decomposition.trussness.values())
+        assert decomposition.k_max == 8
+
+    def test_triangle_free_graph(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        decomposition = truss_decomposition(graph)
+        assert all(value == 2 for value in decomposition.trussness.values())
+
+
+class TestLayers:
+    def test_layers_partition_each_hull(self):
+        graph = powerlaw_cluster_graph(60, 3, 0.7, seed=8)
+        decomposition = truss_decomposition(graph)
+        for k, hull in decomposition.hulls().items():
+            layered = decomposition.layers_of_hull(k)
+            assert set().union(*layered.values()) == hull
+            assert sum(len(edges) for edges in layered.values()) == len(hull)
+            # layer indices start at 1 and are contiguous
+            assert sorted(layered) == list(range(1, len(layered) + 1))
+
+    def test_figure3_layers(self, fig3_graph):
+        decomposition = truss_decomposition(fig3_graph)
+        layers = decomposition.layers_of_hull(3)
+        assert layers[1] == {(9, 10)}
+        assert layers[2] == {(8, 9)}
+        assert layers[3] == {(7, 8)}
+        assert layers[4] == {(5, 8)}
+
+
+class TestAnchors:
+    def test_anchored_edges_have_no_trussness_entry(self, fig3_graph):
+        anchor = (9, 10)
+        decomposition = truss_decomposition(fig3_graph, anchors=[anchor])
+        assert anchor not in decomposition.trussness
+        assert anchor in decomposition.anchors
+
+    def test_anchoring_never_decreases_trussness(self):
+        for seed in range(6):
+            graph = random_test_graph(seed + 500, min_n=10, max_n=16)
+            if graph.num_edges == 0:
+                continue
+            base = truss_decomposition(graph)
+            anchor = graph.edge_list()[0]
+            anchored = truss_decomposition(graph, anchors=[anchor])
+            for edge, value in anchored.trussness.items():
+                assert value >= base.trussness[edge]
+
+    def test_unknown_anchor_rejected(self, fig3_graph):
+        with pytest.raises(InvalidEdgeError):
+            truss_decomposition(fig3_graph, anchors=[(1, 99)])
+
+    def test_figure3_anchor_example(self, fig3_graph):
+        """Anchoring (v9, v10) lifts the three other 3-hull edges to 4."""
+        base = truss_decomposition(fig3_graph)
+        anchored = truss_decomposition(fig3_graph, anchors=[(9, 10)])
+        assert trussness_gain(base, anchored, exclude=[(9, 10)]) == 3
+        for edge in [(8, 9), (7, 8), (5, 8)]:
+            assert anchored.trussness[edge] == base.trussness[edge] + 1
+
+    def test_all_edges_anchored_terminates(self, triangle_graph):
+        decomposition = truss_decomposition(triangle_graph, anchors=list(triangle_graph.edges()))
+        assert decomposition.trussness == {}
+        assert decomposition.k_max == 1
+
+
+class TestTrussnessGain:
+    def test_gain_requires_matching_edge_sets(self, fig3_graph, triangle_graph):
+        a = truss_decomposition(fig3_graph)
+        b = truss_decomposition(triangle_graph)
+        with pytest.raises(InvalidEdgeError):
+            trussness_gain(a, b)
+
+    def test_zero_gain_for_identity(self, fig3_graph):
+        a = truss_decomposition(fig3_graph)
+        b = truss_decomposition(fig3_graph)
+        assert trussness_gain(a, b) == 0

@@ -1,0 +1,97 @@
+"""Tests for the TrussState bundle (trussness, layers, order, anchors)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.generators import complete_graph
+from repro.truss.state import ANCHOR_TRUSSNESS, TrussState
+from repro.utils.errors import InvalidEdgeError, InvalidParameterError
+
+
+class TestBasicQueries:
+    def test_trussness_and_layer(self, fig3_state):
+        assert fig3_state.trussness((9, 10)) == 3
+        assert fig3_state.layer((9, 10)) == 1
+        assert fig3_state.trussness((1, 2)) == 4
+        assert fig3_state.trussness((3, 4)) == 5
+        assert fig3_state.k_max == 5
+
+    def test_unknown_edge_raises(self, fig3_state):
+        with pytest.raises(InvalidEdgeError):
+            fig3_state.trussness((1, 99))
+
+    def test_anchor_trussness_is_infinite(self, fig3_graph):
+        state = TrussState.compute(fig3_graph, anchors=[(9, 10)])
+        assert state.trussness((9, 10)) == ANCHOR_TRUSSNESS
+        assert state.layer((9, 10)) == math.inf
+        assert state.is_anchor((10, 9))
+
+    def test_non_anchor_edges_excludes_anchors(self, fig3_graph):
+        state = TrussState.compute(fig3_graph, anchors=[(9, 10)])
+        edges = set(state.non_anchor_edges())
+        assert (9, 10) not in edges
+        assert len(edges) == fig3_graph.num_edges - 1
+
+
+class TestDeletionOrder:
+    def test_precedes_by_trussness(self, fig3_state):
+        assert fig3_state.precedes((9, 10), (1, 2))  # trussness 3 < 4
+        assert not fig3_state.precedes((1, 2), (9, 10))
+
+    def test_precedes_by_layer_within_hull(self, fig3_state):
+        assert fig3_state.precedes((9, 10), (8, 9))  # layer 1 <= 2
+        assert not fig3_state.precedes((5, 8), (9, 10))  # layer 4 > 1
+
+    def test_precedes_is_reflexive_on_same_layer(self, fig3_state):
+        assert fig3_state.precedes((9, 10), (9, 10))
+
+    def test_every_edge_precedes_an_anchor(self, fig3_graph):
+        state = TrussState.compute(fig3_graph, anchors=[(3, 4)])
+        assert state.precedes((9, 10), (3, 4))
+        assert not state.precedes((3, 4), (9, 10))
+
+
+class TestTriangleQueries:
+    def test_triangles_of_edge(self, fig3_state):
+        apexes = {w for _e1, _e2, w in fig3_state.triangles((9, 10))}
+        assert apexes == {8}
+
+    def test_neighbor_edges(self, fig3_state):
+        assert fig3_state.neighbor_edges((9, 10)) == {(8, 9), (8, 10)}
+
+
+class TestAnchoringTransitions:
+    def test_with_anchor_returns_new_state(self, fig3_state):
+        anchored = fig3_state.with_anchor((9, 10))
+        assert anchored is not fig3_state
+        assert anchored.is_anchor((9, 10))
+        assert not fig3_state.is_anchor((9, 10))
+
+    def test_followers_relative_to(self, fig3_state):
+        anchored = fig3_state.with_anchor((9, 10))
+        assert anchored.followers_relative_to(fig3_state) == {(8, 9), (7, 8), (5, 8)}
+
+    def test_gain_matches_follower_count(self, fig3_state):
+        anchored = fig3_state.with_anchor((9, 10))
+        assert anchored.trussness_gain_from(fig3_state) == 3
+
+    def test_gain_excludes_anchored_edges(self, fig3_state):
+        # anchoring a previously promoted edge removes it from the gain sum
+        first = fig3_state.with_anchor((9, 10))
+        second = first.with_anchor((8, 9))
+        gain = second.trussness_gain_from(fig3_state)
+        followers = second.followers_relative_to(fig3_state)
+        assert (8, 9) not in followers
+        assert len(followers) >= 2
+        assert gain >= len(followers)
+
+
+class TestCliqueState:
+    def test_clique_has_single_hull(self):
+        state = TrussState.compute(complete_graph(6))
+        assert state.k_max == 6
+        assert all(state.trussness(edge) == 6 for edge in state.graph.edges())
+        assert all(state.layer(edge) == 1 for edge in state.graph.edges())

@@ -1,0 +1,73 @@
+"""Tests for the shared utilities (errors, rng, timer)."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.utils.errors import GraphError, InvalidEdgeError, InvalidParameterError, ReproError
+from repro.utils.rng import make_rng
+from repro.utils.timer import Timer, timed
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(GraphError, ReproError)
+        assert issubclass(InvalidEdgeError, GraphError)
+        assert issubclass(InvalidParameterError, ReproError)
+
+    def test_invalid_edge_message(self):
+        error = InvalidEdgeError((1, 2))
+        assert "(1, 2)" in str(error)
+        assert error.edge == (1, 2)
+
+    def test_invalid_edge_custom_message(self):
+        error = InvalidEdgeError((1, 2), "gone")
+        assert str(error) == "gone"
+
+
+class TestRng:
+    def test_none_gives_a_generator(self):
+        assert isinstance(make_rng(None), random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_existing_generator_is_passed_through(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        with timer.measure():
+            time.sleep(0.01)
+        with timer.measure():
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.02
+
+    def test_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+        timer.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_timed_returns_result_and_duration(self):
+        result, elapsed = timed(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0.0
