@@ -27,6 +27,10 @@ from repro.core.followers import (
     followers_support_check,
     trussness_gain_of_anchor,
 )
+from repro.core.followers_reference import (
+    followers_candidate_peel_reference,
+    followers_support_check_reference,
+)
 from repro.core.gas import gas
 from repro.core.greedy import base_greedy, base_plus_greedy
 from repro.core.heuristics import random_baseline, support_baseline, upward_route_baseline
@@ -39,7 +43,9 @@ __all__ = [
     "compute_followers",
     "followers_by_recompute",
     "followers_candidate_peel",
+    "followers_candidate_peel_reference",
     "followers_support_check",
+    "followers_support_check_reference",
     "trussness_gain_of_anchor",
     "TrussComponentTree",
     "TreeNode",

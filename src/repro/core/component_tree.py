@@ -14,26 +14,38 @@ the nodes that contain a neighbour-edge of ``e`` with trussness at least
 ``t(e)``.  Lemma 4 states that the followers of an anchored edge are
 contained in the union of its ``sla`` nodes, which is what makes per-node
 caching of follower sets (GAS, Algorithm 6) possible.
+
+Construction runs in the integer domain of the shared
+:class:`~repro.graph.index.GraphIndex`: per trussness level, an integer
+union-find over the precomputed triangle triples yields the components, and
+one additional pass over the triples precomputes ``sla`` for *every* edge at
+once (the GAS loop queries ``sla`` for each candidate in each round).  The
+seed implementation is preserved as :meth:`TrussComponentTree.build_reference`
+for the equivalence tests and the before/after benchmark.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.graph import Edge, Graph, normalize_edge
-from repro.graph.triangles import triangle_connected_components
+from repro.graph.index import GraphIndex
+from repro.graph.triangles import triangle_connected_components_reference
 from repro.truss.state import TrussState
 from repro.utils.errors import InvalidEdgeError, InvalidParameterError
 
 
-@dataclass
+@dataclass(slots=True)
 class TreeNode:
     """One node of the truss component tree.
 
     Attributes map one-to-one onto the paper's notation (Table II):
     ``node_id`` is ``TN.I``, ``k`` is ``TN.K``, ``edges`` is ``TN.E``,
     ``parent`` is ``TN.P`` (as a node id) and ``children`` is ``TN.C``.
+    ``edge_ids`` carries the same edge set as dense kernel ids (empty for
+    trees built by :meth:`TrussComponentTree.build_reference`).
     """
 
     node_id: int
@@ -41,6 +53,7 @@ class TreeNode:
     edges: FrozenSet[Edge]
     parent: Optional[int] = None
     children: List[int] = field(default_factory=list)
+    edge_ids: FrozenSet[int] = frozenset()
 
     def __len__(self) -> int:
         return len(self.edges)
@@ -55,11 +68,21 @@ class TrussComponentTree:
         node_of_edge: Dict[Edge, int],
         roots: List[int],
         state: TrussState,
+        sla_sets: Optional[List[Optional[Set[int]]]] = None,
+        node_of_eid: Optional[List[int]] = None,
     ) -> None:
         self.nodes = nodes
         self.node_of_edge = node_of_edge
         self.roots = roots
         self.state = state
+        # Per-dense-edge-id precomputed sla sets (None for reference trees,
+        # which fall back to the per-edge computation).
+        self._sla_sets = sla_sets
+        # Dense eid -> node id (-1 for anchors), kernel-built trees only.
+        self._node_of_eid = node_of_eid
+        self._signatures_cache: Optional[
+            Dict[int, Tuple[FrozenSet[Edge], Tuple[Tuple[Edge, float, float], ...]]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Construction (Algorithm 4)
@@ -69,21 +92,184 @@ class TrussComponentTree:
         """Build the tree bottom-up over increasing trussness values.
 
         The construction is equivalent to the recursive BuildTree of the
-        paper: for every trussness value ``k`` (in increasing order) the
-        triangle-connected components of the subgraph formed by all edges of
-        trussness ``>= k`` (anchored edges included, since they belong to
-        every truss) are computed; the trussness-k edges of each component
-        form one tree node whose parent is the node created for the
-        enclosing component at the previous trussness value.
+        paper (one node per triangle-connected component of trussness-k
+        edges, parent = enclosing component at the previous trussness value)
+        but runs a *single* union-find over the triangle triples, processing
+        trussness levels in decreasing order: a triangle becomes active at
+        the minimum trussness of its three edges, so each triangle is
+        unioned exactly once instead of once per level.  Parent links are
+        recovered by keeping, per component, the list of nodes that have not
+        been claimed by an enclosing node yet; the node created for a
+        component claims them as children.
+        """
+        index, trussness_of, _layer_of, anchor_mask = state.kernel_views()
+        m = index.num_edges
+        edge_of = index.edge_of
+        stable_ids = index.stable_ids
+
+        # Edges grouped by trussness; triangles grouped by the level at which
+        # they become active (min trussness; all-anchor triangles are active
+        # everywhere).  Both int keys; anchors hold inf in trussness_of.
+        edges_by_level: Dict[int, List[int]] = {}
+        for eid in range(m):
+            t = trussness_of[eid]
+            if t != math.inf:
+                edges_by_level.setdefault(t, []).append(eid)
+        tris_by_level: Dict[float, List[Tuple[int, int, int]]] = {}
+        for triple in index.triangles:
+            e1, e2, e3 = triple
+            level = min(trussness_of[e1], trussness_of[e2], trussness_of[e3])
+            tris_by_level.setdefault(level, []).append(triple)
+
+        parent = list(range(m))
+
+        def find(e: int) -> int:
+            root = e
+            while parent[root] != root:
+                root = parent[root]
+            while parent[e] != root:
+                parent[e], e = root, parent[e]
+            return root
+
+        # Per union-find root: the nodes inside the component that still have
+        # no parent (they will be claimed by the next enclosing node).
+        orphans: Dict[int, List[int]] = {}
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return
+            parent[rb] = ra
+            merged = orphans.pop(rb, None)
+            if merged:
+                existing = orphans.get(ra)
+                if existing:
+                    existing.extend(merged)
+                else:
+                    orphans[ra] = merged
+
+        # Triangles between three anchored edges connect components at every
+        # level, so they are activated before the deepest level.
+        for e1, e2, e3 in tris_by_level.pop(math.inf, ()):
+            union(e1, e2)
+            union(e1, e3)
+
+        nodes: Dict[int, TreeNode] = {}
+        node_of_edge: Dict[Edge, int] = {}
+
+        for k in sorted(edges_by_level, reverse=True):
+            for e1, e2, e3 in tris_by_level.get(k, ()):
+                union(e1, e2)
+                union(e1, e3)
+
+            components: Dict[int, List[int]] = {}
+            for eid in edges_by_level[k]:
+                components.setdefault(find(eid), []).append(eid)
+
+            edge_lookup = edge_of.__getitem__
+            for root, level_ids in components.items():
+                # level_ids is ascending (edges_by_level preserves eid order),
+                # so the smallest public edge id is the first entry's.
+                node_id = stable_ids[level_ids[0]]
+                level_edges = frozenset(map(edge_lookup, level_ids))
+                node = TreeNode(
+                    node_id=node_id,
+                    k=k,
+                    edges=level_edges,
+                    edge_ids=frozenset(level_ids),
+                )
+                nodes[node_id] = node
+                unclaimed = orphans.get(root)
+                if unclaimed:
+                    for child_id in unclaimed:
+                        nodes[child_id].parent = node_id
+                    node.children.extend(unclaimed)
+                    unclaimed.clear()
+                    unclaimed.append(node_id)
+                else:
+                    orphans[root] = [node_id]
+                for eid in level_ids:
+                    node_of_edge[edge_of[eid]] = node_id
+
+        # Nodes never claimed by an enclosing component are the tree roots.
+        roots = [node_id for unclaimed in orphans.values() for node_id in unclaimed]
+
+        node_of_eid = [-1] * m
+        for node in nodes.values():
+            nid = node.node_id
+            for eid in node.edge_ids:
+                node_of_eid[eid] = nid
+
+        sla_sets = cls._precompute_sla(index, trussness_of, anchor_mask, node_of_eid)
+        return cls(
+            nodes=nodes,
+            node_of_edge=node_of_edge,
+            roots=roots,
+            state=state,
+            sla_sets=sla_sets,
+            node_of_eid=node_of_eid,
+        )
+
+    @staticmethod
+    def _precompute_sla(
+        index: GraphIndex,
+        trussness_of: List[float],
+        anchor_mask: bytearray,
+        node_of_eid: List[int],
+    ) -> List[Optional[Set[int]]]:
+        """One pass over the triangle triples computing ``sla`` for all edges."""
+        m = index.num_edges
+        # Lazily allocated: edges outside any triangle (the majority on
+        # sparse graphs) keep a shared None slot instead of an empty set.
+        sla_sets: List[Optional[Set[int]]] = [None] * m
+
+        def add(target: int, node_id: int) -> None:
+            entry = sla_sets[target]
+            if entry is None:
+                sla_sets[target] = {node_id}
+            else:
+                entry.add(node_id)
+
+        for e1, e2, e3 in index.triangles:
+            t1, t2, t3 = trussness_of[e1], trussness_of[e2], trussness_of[e3]
+            a1, a2, a3 = anchor_mask[e1], anchor_mask[e2], anchor_mask[e3]
+            if not a1:
+                n1 = node_of_eid[e1]
+                if not a2 and t1 >= t2:
+                    add(e2, n1)
+                if not a3 and t1 >= t3:
+                    add(e3, n1)
+            if not a2:
+                n2 = node_of_eid[e2]
+                if not a1 and t2 >= t1:
+                    add(e1, n2)
+                if not a3 and t2 >= t3:
+                    add(e3, n2)
+            if not a3:
+                n3 = node_of_eid[e3]
+                if not a1 and t3 >= t1:
+                    add(e1, n3)
+                if not a2 and t3 >= t2:
+                    add(e2, n3)
+        return sla_sets
+
+    @classmethod
+    def build_reference(cls, state: TrussState) -> "TrussComponentTree":
+        """Seed (tuple-domain) implementation of Algorithm 4.
+
+        Kept verbatim — including the per-level calls to the reference
+        triangle connectivity — as ground truth for the kernel equivalence
+        tests and as the "before" bar of ``benchmarks/bench_kernel.py``.
+        Trees built this way compute ``sla`` per edge on demand.
         """
         graph = state.graph
         trussness = state.decomposition.trussness
         anchors = state.anchors
+        eid_of = state.index.eid_of  # only used to fill TreeNode.edge_ids
 
         nodes: Dict[int, TreeNode] = {}
         node_of_edge: Dict[Edge, int] = {}
         roots: List[int] = []
-        # Deepest node created so far whose component contains the edge.
         enclosing: Dict[Edge, Optional[int]] = {e: None for e in graph.edges()}
 
         levels = sorted(set(trussness.values()))
@@ -92,18 +278,22 @@ class TrussComponentTree:
             member_edges.extend(anchors)
             if not member_edges:
                 continue
-            components = triangle_connected_components(graph, member_edges)
+            components = triangle_connected_components_reference(graph, member_edges)
             for component in components:
                 level_edges = frozenset(
                     e for e in component if e not in anchors and trussness[e] == k
                 )
                 if not level_edges:
-                    # No trussness-k edges here: the component surfaces again
-                    # at a deeper level; nothing to record now.
                     continue
                 node_id = min(graph.edge_id(e) for e in level_edges)
                 parent_id = enclosing[next(iter(level_edges))]
-                node = TreeNode(node_id=node_id, k=k, edges=level_edges, parent=parent_id)
+                node = TreeNode(
+                    node_id=node_id,
+                    k=k,
+                    edges=level_edges,
+                    parent=parent_id,
+                    edge_ids=frozenset(eid_of[e] for e in level_edges),
+                )
                 nodes[node_id] = node
                 if parent_id is None:
                     roots.append(node_id)
@@ -152,12 +342,17 @@ class TrussComponentTree:
         """Subtree adjacency node ids of ``edge`` (Table II).
 
         ``id ∈ sla(e)`` iff some neighbour-edge ``e'`` of ``e`` has
-        ``t(e') >= t(e)`` and lives in the node with that id.
+        ``t(e') >= t(e)`` and lives in the node with that id.  For trees
+        built by :meth:`build` this is a precomputed O(1) lookup; treat the
+        returned set as read-only.
         """
         edge = self.state.graph.require_edge(edge)
+        if self._sla_sets is not None:
+            entry = self._sla_sets[self.state.index.eid_of[edge]]
+            return entry if entry is not None else set()
         t_edge = self.state.trussness(edge)
         result: Set[int] = set()
-        for e1, e2, _w in self.state.triangles(edge):
+        for e1, e2, _w in self.state.triangle_list(edge):
             for neighbour in (e1, e2):
                 if self.state.is_anchor(neighbour):
                     continue
@@ -169,7 +364,7 @@ class TrussComponentTree:
         """``sla(e)`` for every requested edge (default: every non-anchored edge)."""
         if edges is None:
             edges = list(self.state.non_anchor_edges())
-        return {edge: self.sla(edge) for edge in edges}
+        return {edge: set(self.sla(edge)) for edge in edges}
 
     def node_signature(self, node_id: int) -> Tuple[FrozenSet[Edge], Tuple[Tuple[Edge, float, float], ...]]:
         """A comparable signature of a node: its edge set plus (t, l) of each edge.
@@ -181,17 +376,36 @@ class TrussComponentTree:
         described in DESIGN.md §3.3).
         """
         node = self.nodes[node_id]
+        # Node edges are never anchored, so the decomposition dicts can be
+        # read directly instead of going through the (inf-aware) state API.
+        trussness = self.state.decomposition.trussness
+        layer = self.state.decomposition.layer
         detail = tuple(
-            sorted(
-                (edge, float(self.state.trussness(edge)), float(self.state.layer(edge)))
-                for edge in node.edges
-            )
+            sorted((edge, float(trussness[edge]), float(layer[edge])) for edge in node.edges)
         )
         return node.edges, detail
 
     def signatures(self) -> Dict[int, Tuple[FrozenSet[Edge], Tuple[Tuple[Edge, float, float], ...]]]:
-        """Signatures of every node, keyed by node id."""
-        return {node_id: self.node_signature(node_id) for node_id in self.nodes}
+        """Signatures of every node, keyed by node id (computed once; the
+        tree is immutable after construction)."""
+        if self._signatures_cache is None:
+            self._signatures_cache = {
+                node_id: self.node_signature(node_id) for node_id in self.nodes
+            }
+        return self._signatures_cache
+
+    @property
+    def node_of_eid(self) -> Optional[List[int]]:
+        """Dense eid -> node id list (``-1`` for anchored edges), or ``None``
+        for reference-built trees.  Treat as read-only."""
+        return self._node_of_eid
+
+    @property
+    def sla_sets(self) -> Optional[List[Optional[Set[int]]]]:
+        """Precomputed per-eid ``sla`` sets (``None`` entries for edges in no
+        triangle), or ``None`` for reference-built trees.  Treat as
+        read-only; :meth:`sla` is the per-edge public view."""
+        return self._sla_sets
 
     # ------------------------------------------------------------------
     # Introspection helpers (used by tests and the reuse statistics)

@@ -26,15 +26,22 @@ Three interchangeable implementations are provided:
 
 All three return exactly the same follower set; the test-suite asserts this
 on hundreds of random graphs.
+
+The local methods run in the *integer domain* of the shared
+:class:`~repro.graph.index.GraphIndex`: candidates, heaps and status flags
+are keyed by dense edge ids, trussness/layer lookups are list indexing, and
+triangle queries read the precomputed per-edge triple lists.  The original
+tuple-domain implementations are preserved verbatim in
+:mod:`repro.core.followers_reference` and the test-suite asserts both agree.
 """
 
 from __future__ import annotations
 
 import heapq
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.graph import Edge
 from repro.truss.state import TrussState
 from repro.utils.errors import InvalidParameterError
 
@@ -67,54 +74,87 @@ def trussness_gain_of_anchor(state: TrussState, anchor: Edge) -> int:
 # ---------------------------------------------------------------------------
 # Candidate collection (upward-route reachable superset, Lemma 2)
 # ---------------------------------------------------------------------------
-def _initial_candidates(
-    state: TrussState, anchor: Edge, strict: bool
-) -> Set[Edge]:
-    """Neighbour-edges of the anchor satisfying Lemma 2 condition (i).
+def _initial_candidate_ids(state: TrussState, anchor_id: int, strict: bool) -> Set[int]:
+    """Dense ids of the anchor's neighbour-edges satisfying Lemma 2 cond (i).
 
     With ``strict=True`` the layer comparison is strict (``l(e) > l(x)``),
     exactly as written in the paper.  With ``strict=False`` same-layer
     neighbour-edges are also included; this is only ever a superset and is
     used by the peeling method for extra safety margin.
     """
-    t_anchor = state.trussness(anchor)
-    l_anchor = state.layer(anchor)
-    result: Set[Edge] = set()
-    for e1, e2, _w in state.triangles(anchor):
-        for edge in (e1, e2):
-            if state.is_anchor(edge):
+    index, trussness, layer, anchor_mask = state.kernel_views()
+    t_anchor = trussness[anchor_id]
+    l_anchor = layer[anchor_id]
+    result: Set[int] = set()
+    for e1, e2, _w in index.edge_triangles[anchor_id]:
+        for eid in (e1, e2):
+            if eid in result or anchor_mask[eid]:
                 continue
-            t_edge = state.trussness(edge)
+            t_edge = trussness[eid]
             if t_edge > t_anchor:
-                result.add(edge)
+                result.add(eid)
             elif t_edge == t_anchor:
-                l_edge = state.layer(edge)
+                l_edge = layer[eid]
                 if l_edge > l_anchor or (not strict and l_edge == l_anchor):
-                    result.add(edge)
+                    result.add(eid)
     return result
 
 
-def _expand_candidates(state: TrussState, seeds: Set[Edge]) -> Set[Edge]:
-    """Upward-route reachable closure of ``seeds``.
+def _expand_candidate_ids(state: TrussState, seeds: Set[int]) -> Set[int]:
+    """Upward-route reachable closure of ``seeds`` (dense edge ids).
 
     From a candidate ``e`` at trussness ``k`` the search may move to any
     neighbour-edge ``e'`` with ``t(e') = k`` and ``e ≺ e'`` (Definition 7).
     The closure is a superset of the follower set by Lemma 2.
     """
-    candidates: Set[Edge] = set(seeds)
-    stack: List[Edge] = list(seeds)
+    index, trussness, layer, anchor_mask = state.kernel_views()
+    edge_triangles = index.edge_triangles
+    candidates: Set[int] = set(seeds)
+    stack: List[int] = list(seeds)
     while stack:
-        edge = stack.pop()
-        k = state.trussness(edge)
-        l_edge = state.layer(edge)
-        for e1, e2, _w in state.triangles(edge):
+        eid = stack.pop()
+        k = trussness[eid]
+        l_edge = layer[eid]
+        for e1, e2, _w in edge_triangles[eid]:
             for nxt in (e1, e2):
-                if nxt in candidates or state.is_anchor(nxt):
+                if nxt in candidates or anchor_mask[nxt]:
                     continue
-                if state.trussness(nxt) == k and state.layer(nxt) >= l_edge:
+                if trussness[nxt] == k and layer[nxt] >= l_edge:
                     candidates.add(nxt)
                     stack.append(nxt)
     return candidates
+
+
+def _initial_candidates(state: TrussState, anchor: Edge, strict: bool) -> Set[Edge]:
+    """Tuple-domain view of :func:`_initial_candidate_ids` (upward routes)."""
+    index = state.index
+    anchor_id = index.eid_of[state.graph.require_edge(anchor)]
+    edge_of = index.edge_of
+    return {edge_of[eid] for eid in _initial_candidate_ids(state, anchor_id, strict)}
+
+
+def _expand_candidates(state: TrussState, seeds: Set[Edge]) -> Set[Edge]:
+    """Tuple-domain view of :func:`_expand_candidate_ids` (upward routes)."""
+    index = state.index
+    eid_of = index.eid_of
+    edge_of = index.edge_of
+    seed_ids = {eid_of[state.graph.require_edge(e)] for e in seeds}
+    return {edge_of[eid] for eid in _expand_candidate_ids(state, seed_ids)}
+
+
+def _resolve_filter_ids(
+    state: TrussState,
+    candidate_filter: Optional[Set[Edge]],
+    candidate_filter_ids: Optional[Set[int]],
+) -> Optional[Set[int]]:
+    """Normalise the two filter spellings to a dense-id set (or ``None``)."""
+    if candidate_filter_ids is not None:
+        return candidate_filter_ids
+    if candidate_filter is None:
+        return None
+    eid_of = state.index.eid_of
+    graph = state.graph
+    return {eid_of[graph.require_edge(e)] for e in candidate_filter}
 
 
 # ---------------------------------------------------------------------------
@@ -124,6 +164,7 @@ def followers_candidate_peel(
     state: TrussState,
     anchor: Edge,
     candidate_filter: Optional[Set[Edge]] = None,
+    candidate_filter_ids: Optional[Set[int]] = None,
 ) -> Set[Edge]:
     """Followers of ``anchor`` via candidate restriction + per-level peeling.
 
@@ -134,61 +175,68 @@ def followers_candidate_peel(
     trussness ``>= k + 1``, or another member of ``S``.  The maximal such set
     is computed by iterative peeling.
 
-    ``candidate_filter`` optionally restricts the considered candidates (used
-    by the tree-based reuse of GAS, which recomputes followers only inside
-    selected tree nodes).
+    ``candidate_filter`` (edge tuples) or ``candidate_filter_ids`` (dense
+    edge ids, the hot-path spelling used by GAS) optionally restricts the
+    considered candidates to selected tree nodes.
     """
     anchor = state.graph.require_edge(anchor)
     if state.is_anchor(anchor):
         raise InvalidParameterError(f"edge {anchor!r} is already anchored")
 
-    seeds = _initial_candidates(state, anchor, strict=False)
-    if candidate_filter is not None:
-        seeds &= candidate_filter
-    candidates = _expand_candidates(state, seeds)
-    if candidate_filter is not None:
-        candidates &= candidate_filter
-    candidates.discard(anchor)
+    index, trussness, _layer, _anchor_mask = state.kernel_views()
+    anchor_id = index.eid_of[anchor]
+    filter_ids = _resolve_filter_ids(state, candidate_filter, candidate_filter_ids)
 
-    by_level: Dict[int, Set[Edge]] = {}
-    for edge in candidates:
-        by_level.setdefault(int(state.trussness(edge)), set()).add(edge)
+    seeds = _initial_candidate_ids(state, anchor_id, strict=False)
+    if filter_ids is not None:
+        seeds &= filter_ids
+    candidates = _expand_candidate_ids(state, seeds)
+    if filter_ids is not None:
+        candidates &= filter_ids
+    candidates.discard(anchor_id)
 
+    by_level: Dict[int, Set[int]] = {}
+    for eid in candidates:
+        by_level.setdefault(int(trussness[eid]), set()).add(eid)
+
+    edge_of = index.edge_of
     followers: Set[Edge] = set()
     for k, level_candidates in by_level.items():
-        followers |= _peel_level(state, anchor, k, level_candidates)
+        for eid in _peel_level_ids(state, anchor_id, k, level_candidates):
+            followers.add(edge_of[eid])
     return followers
 
 
-def _peel_level(
-    state: TrussState, anchor: Edge, k: int, members: Set[Edge]
-) -> Set[Edge]:
+def _peel_level_ids(
+    state: TrussState, anchor_id: int, k: int, members: Set[int]
+) -> Set[int]:
     """Greatest fixed point of the level-k support condition over ``members``."""
+    index, trussness, _layer, anchor_mask = state.kernel_views()
+    edge_triangles = index.edge_triangles
+    solid_level = k + 1
 
-    def is_solid(edge: Edge) -> bool:
-        # Edges that are guaranteed to be in the (k+1)-truss of the anchored
-        # graph: the new anchor, previously anchored edges, and edges whose
+    def is_solid(eid: int) -> bool:
+        # Edges guaranteed to be in the (k+1)-truss of the anchored graph:
+        # the new anchor, previously anchored edges, and edges whose
         # trussness is already at least k + 1.
-        if edge == anchor or state.is_anchor(edge):
-            return True
-        return state.trussness(edge) >= k + 1
+        return eid == anchor_id or anchor_mask[eid] or trussness[eid] >= solid_level
 
-    alive: Set[Edge] = set(members)
-    support: Dict[Edge, int] = {}
-    for edge in alive:
+    alive: Set[int] = set(members)
+    support: Dict[int, int] = {}
+    for eid in alive:
         count = 0
-        for e1, e2, _w in state.triangles(edge):
+        for e1, e2, _w in edge_triangles[eid]:
             if (is_solid(e1) or e1 in alive) and (is_solid(e2) or e2 in alive):
                 count += 1
-        support[edge] = count
+        support[eid] = count
 
     threshold = k - 1
-    queue: List[Edge] = [edge for edge in alive if support[edge] < threshold]
-    removed: Set[Edge] = set(queue)
+    queue: List[int] = [eid for eid in alive if support[eid] < threshold]
+    removed: Set[int] = set(queue)
     while queue:
-        edge = queue.pop()
-        alive.discard(edge)
-        for e1, e2, _w in state.triangles(edge):
+        eid = queue.pop()
+        alive.discard(eid)
+        for e1, e2, _w in edge_triangles[eid]:
             for member, partner in ((e1, e2), (e2, e1)):
                 if member in alive and (is_solid(partner) or partner in alive):
                     support[member] -= 1
@@ -210,6 +258,7 @@ def followers_support_check(
     state: TrussState,
     anchor: Edge,
     candidate_filter: Optional[Set[Edge]] = None,
+    candidate_filter_ids: Optional[Set[int]] = None,
 ) -> Set[Edge]:
     """Followers of ``anchor`` via the paper's Algorithm 3 (GetFollowers).
 
@@ -220,98 +269,118 @@ def followers_support_check(
     otherwise it is *eliminated* and the ``Retract`` cascade withdraws the
     support it had lent to previously surviving edges.
 
-    ``candidate_filter`` restricts both the initial pushes and the route
-    expansion to the given edge set (used by GAS for per-tree-node reuse).
+    ``candidate_filter`` / ``candidate_filter_ids`` restrict both the initial
+    pushes and the route expansion to the given edge set (used by GAS for
+    per-tree-node reuse).
+
+    Everything runs on dense edge ids: the heap holds ``(layer, eid)`` pairs
+    (dense-id order equals public edge-id order, so the tie-breaking matches
+    the reference), the per-level status is a bytearray, and triangle queries
+    read the index's precomputed triple lists.
     """
     anchor = state.graph.require_edge(anchor)
     if state.is_anchor(anchor):
         raise InvalidParameterError(f"edge {anchor!r} is already anchored")
 
-    graph = state.graph
-    initial = _initial_candidates(state, anchor, strict=True)
-    if candidate_filter is not None:
-        initial &= candidate_filter
+    index, trussness, layer, anchor_mask = state.kernel_views()
+    edge_triangles = index.edge_triangles
+    anchor_id = index.eid_of[anchor]
+    filter_ids = _resolve_filter_ids(state, candidate_filter, candidate_filter_ids)
 
-    heaps: Dict[int, List[Tuple[int, int, Edge]]] = {}
-    pushed: Set[Edge] = set()
-    for edge in initial:
-        level = int(state.trussness(edge))
-        heaps.setdefault(level, [])
-        heapq.heappush(heaps[level], (int(state.layer(edge)), graph.edge_id(edge), edge))
-        pushed.add(edge)
+    initial = _initial_candidate_ids(state, anchor_id, strict=True)
+    if filter_ids is not None:
+        initial &= filter_ids
+    if not initial:
+        # Common on sparse graphs (no qualifying neighbour-edges): skip the
+        # per-call overlay allocations entirely.
+        return set()
 
-    followers: Set[Edge] = set()
+    heaps: Dict[int, List[Tuple[float, int]]] = {}
+    pushed = bytearray(index.num_edges)
+    for eid in initial:
+        heaps.setdefault(int(trussness[eid]), []).append((layer[eid], eid))
+        pushed[eid] = 1
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    followers_ids: List[int] = []
 
     for level in sorted(heaps):
         heap = heaps[level]
-        status: Dict[Edge, int] = {}
-        survived: Set[Edge] = set()
+        heapq.heapify(heap)
+        status = bytearray(index.num_edges)
+        survived: Set[int] = set()
+        needed = level - 1
 
-        def effectiveness(edge: Edge, other: Edge) -> bool:
-            """Is ``other`` usable in an effective triangle of ``edge``?"""
-            if other == anchor or state.is_anchor(other):
-                return True
-            if status.get(other) == _ELIMINATED:
-                return False
-            t_other = state.trussness(other)
-            if t_other < level:
-                # line 6 of Algorithm 3: lower-trussness edges are eliminated
-                return False
-            if status.get(other) == _SURVIVED:
-                return True
-            return state.precedes(edge, other)
-
-        def effective_triangles(edge: Edge) -> int:
+        def effective_triangles(eid: int) -> int:
+            """Triangles of ``eid`` whose two other edges are both effective."""
             count = 0
-            for e1, e2, _w in state.triangles(edge):
-                if effectiveness(edge, e1) and effectiveness(edge, e2):
-                    count += 1
+            l_edge = layer[eid]
+            for e1, e2, _w in edge_triangles[eid]:
+                # Inlined effectiveness(eid, other) for both triangle edges:
+                # the anchor and anchored edges always help; eliminated or
+                # lower-trussness edges never do; surviving edges help; an
+                # unchecked edge helps when the deletion order eid ≺ other
+                # holds (Definition 8).
+                if e1 != anchor_id and not anchor_mask[e1]:
+                    s1 = status[e1]
+                    if s1 == _ELIMINATED:
+                        continue
+                    t1 = trussness[e1]
+                    if t1 < level:
+                        continue
+                    if s1 != _SURVIVED and t1 == level and layer[e1] < l_edge:
+                        continue
+                if e2 != anchor_id and not anchor_mask[e2]:
+                    s2 = status[e2]
+                    if s2 == _ELIMINATED:
+                        continue
+                    t2 = trussness[e2]
+                    if t2 < level:
+                        continue
+                    if s2 != _SURVIVED and t2 == level and layer[e2] < l_edge:
+                        continue
+                count += 1
             return count
 
-        def retract(edge: Edge) -> None:
-            """Cascade eliminations after ``edge`` lost its survived status."""
-            stack = [edge]
+        def retract(eid: int) -> None:
+            """Cascade eliminations after ``eid`` lost its survived status."""
+            stack = [eid]
             while stack:
                 lost = stack.pop()
-                for e1, e2, _w in state.triangles(lost):
+                for e1, e2, _w in edge_triangles[lost]:
                     for neighbour in (e1, e2):
-                        if neighbour in survived and status.get(neighbour) == _SURVIVED:
-                            if effective_triangles(neighbour) < level - 1:
+                        if status[neighbour] == _SURVIVED:
+                            if effective_triangles(neighbour) < needed:
                                 status[neighbour] = _ELIMINATED
                                 survived.discard(neighbour)
                                 stack.append(neighbour)
 
         while heap:
-            _layer, _edge_id, edge = heapq.heappop(heap)
-            if status.get(edge) is not None:
+            l_edge, eid = heappop(heap)
+            if status[eid]:
                 continue
-            if effective_triangles(edge) >= level - 1:
-                status[edge] = _SURVIVED
-                survived.add(edge)
-                edge_layer = state.layer(edge)
-                for e1, e2, _w in state.triangles(edge):
+            if effective_triangles(eid) >= needed:
+                status[eid] = _SURVIVED
+                survived.add(eid)
+                for e1, e2, _w in edge_triangles[eid]:
                     for neighbour in (e1, e2):
-                        if neighbour in pushed or state.is_anchor(neighbour):
+                        if pushed[neighbour] or anchor_mask[neighbour]:
                             continue
-                        if candidate_filter is not None and neighbour not in candidate_filter:
+                        if filter_ids is not None and neighbour not in filter_ids:
                             continue
-                        if (
-                            state.trussness(neighbour) == level
-                            and state.layer(neighbour) >= edge_layer
-                        ):
-                            heapq.heappush(
-                                heap,
-                                (int(state.layer(neighbour)), graph.edge_id(neighbour), neighbour),
-                            )
-                            pushed.add(neighbour)
+                        if trussness[neighbour] == level and layer[neighbour] >= l_edge:
+                            heappush(heap, (layer[neighbour], neighbour))
+                            pushed[neighbour] = 1
             else:
-                status[edge] = _ELIMINATED
-                retract(edge)
+                status[eid] = _ELIMINATED
+                retract(eid)
 
-        followers |= survived
+        followers_ids.extend(survived)
 
-    followers.discard(anchor)
-    return followers
+    edge_of = index.edge_of
+    return {edge_of[eid] for eid in followers_ids if eid != anchor_id}
 
 
 # ---------------------------------------------------------------------------
@@ -322,6 +391,7 @@ def compute_followers(
     anchor: Edge,
     method: FollowerMethod | str = FollowerMethod.SUPPORT_CHECK,
     candidate_filter: Optional[Set[Edge]] = None,
+    candidate_filter_ids: Optional[Set[int]] = None,
 ) -> Set[Edge]:
     """Compute ``F(anchor, G_A)`` with the selected method.
 
@@ -336,12 +406,15 @@ def compute_followers(
     candidate_filter:
         Optional restriction of the candidate edges (tree-node reuse); not
         supported by the ``recompute`` method.
+    candidate_filter_ids:
+        The same restriction spelled in dense edge ids (takes precedence;
+        used by the GAS hot loop to avoid tuple conversions).
     """
     method = FollowerMethod(method)
     if method is FollowerMethod.RECOMPUTE:
-        if candidate_filter is not None:
+        if candidate_filter is not None or candidate_filter_ids is not None:
             raise InvalidParameterError("candidate_filter is not supported by 'recompute'")
         return followers_by_recompute(state, anchor)
     if method is FollowerMethod.PEEL:
-        return followers_candidate_peel(state, anchor, candidate_filter)
-    return followers_support_check(state, anchor, candidate_filter)
+        return followers_candidate_peel(state, anchor, candidate_filter, candidate_filter_ids)
+    return followers_support_check(state, anchor, candidate_filter, candidate_filter_ids)

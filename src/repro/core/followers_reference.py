@@ -1,0 +1,225 @@
+"""Seed (tuple-domain) follower implementations, kept verbatim.
+
+These are the pre-kernel implementations of Lemma 2 candidate collection,
+the per-level peeling method and the paper's Algorithm 3, operating on edge
+tuples and per-call triangle intersections
+(:meth:`repro.truss.state.TrussState._triangles_reference`).  They exist for
+two reasons:
+
+* the equivalence tests in ``tests/test_graph_index.py`` assert that the
+  integer-domain rewrites in :mod:`repro.core.followers` return exactly the
+  same follower sets, and
+* ``benchmarks/bench_kernel.py`` uses them as the honest "before" bar.
+
+Do not optimise this module; it is the yardstick.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.graph import Edge
+from repro.truss.state import TrussState
+from repro.utils.errors import InvalidParameterError
+
+
+def _initial_candidates_reference(
+    state: TrussState, anchor: Edge, strict: bool
+) -> Set[Edge]:
+    """Neighbour-edges of the anchor satisfying Lemma 2 condition (i)."""
+    t_anchor = state.trussness(anchor)
+    l_anchor = state.layer(anchor)
+    result: Set[Edge] = set()
+    for e1, e2, _w in state._triangles_reference(anchor):
+        for edge in (e1, e2):
+            if state.is_anchor(edge):
+                continue
+            t_edge = state.trussness(edge)
+            if t_edge > t_anchor:
+                result.add(edge)
+            elif t_edge == t_anchor:
+                l_edge = state.layer(edge)
+                if l_edge > l_anchor or (not strict and l_edge == l_anchor):
+                    result.add(edge)
+    return result
+
+
+def _expand_candidates_reference(state: TrussState, seeds: Set[Edge]) -> Set[Edge]:
+    """Upward-route reachable closure of ``seeds`` (Definition 7)."""
+    candidates: Set[Edge] = set(seeds)
+    stack: List[Edge] = list(seeds)
+    while stack:
+        edge = stack.pop()
+        k = state.trussness(edge)
+        l_edge = state.layer(edge)
+        for e1, e2, _w in state._triangles_reference(edge):
+            for nxt in (e1, e2):
+                if nxt in candidates or state.is_anchor(nxt):
+                    continue
+                if state.trussness(nxt) == k and state.layer(nxt) >= l_edge:
+                    candidates.add(nxt)
+                    stack.append(nxt)
+    return candidates
+
+
+def followers_candidate_peel_reference(
+    state: TrussState,
+    anchor: Edge,
+    candidate_filter: Optional[Set[Edge]] = None,
+) -> Set[Edge]:
+    """Seed implementation of the "peel" follower method."""
+    anchor = state.graph.require_edge(anchor)
+    if state.is_anchor(anchor):
+        raise InvalidParameterError(f"edge {anchor!r} is already anchored")
+
+    seeds = _initial_candidates_reference(state, anchor, strict=False)
+    if candidate_filter is not None:
+        seeds &= candidate_filter
+    candidates = _expand_candidates_reference(state, seeds)
+    if candidate_filter is not None:
+        candidates &= candidate_filter
+    candidates.discard(anchor)
+
+    by_level: Dict[int, Set[Edge]] = {}
+    for edge in candidates:
+        by_level.setdefault(int(state.trussness(edge)), set()).add(edge)
+
+    followers: Set[Edge] = set()
+    for k, level_candidates in by_level.items():
+        followers |= _peel_level_reference(state, anchor, k, level_candidates)
+    return followers
+
+
+def _peel_level_reference(
+    state: TrussState, anchor: Edge, k: int, members: Set[Edge]
+) -> Set[Edge]:
+    """Greatest fixed point of the level-k support condition over ``members``."""
+
+    def is_solid(edge: Edge) -> bool:
+        if edge == anchor or state.is_anchor(edge):
+            return True
+        return state.trussness(edge) >= k + 1
+
+    alive: Set[Edge] = set(members)
+    support: Dict[Edge, int] = {}
+    for edge in alive:
+        count = 0
+        for e1, e2, _w in state._triangles_reference(edge):
+            if (is_solid(e1) or e1 in alive) and (is_solid(e2) or e2 in alive):
+                count += 1
+        support[edge] = count
+
+    threshold = k - 1
+    queue: List[Edge] = [edge for edge in alive if support[edge] < threshold]
+    removed: Set[Edge] = set(queue)
+    while queue:
+        edge = queue.pop()
+        alive.discard(edge)
+        for e1, e2, _w in state._triangles_reference(edge):
+            for member, partner in ((e1, e2), (e2, e1)):
+                if member in alive and (is_solid(partner) or partner in alive):
+                    support[member] -= 1
+                    if support[member] < threshold and member not in removed:
+                        removed.add(member)
+                        queue.append(member)
+    return alive
+
+
+_UNCHECKED = 0
+_SURVIVED = 1
+_ELIMINATED = 2
+
+
+def followers_support_check_reference(
+    state: TrussState,
+    anchor: Edge,
+    candidate_filter: Optional[Set[Edge]] = None,
+) -> Set[Edge]:
+    """Seed implementation of the paper's Algorithm 3 (GetFollowers)."""
+    anchor = state.graph.require_edge(anchor)
+    if state.is_anchor(anchor):
+        raise InvalidParameterError(f"edge {anchor!r} is already anchored")
+
+    graph = state.graph
+    initial = _initial_candidates_reference(state, anchor, strict=True)
+    if candidate_filter is not None:
+        initial &= candidate_filter
+
+    heaps: Dict[int, List[Tuple[int, int, Edge]]] = {}
+    pushed: Set[Edge] = set()
+    for edge in initial:
+        level = int(state.trussness(edge))
+        heaps.setdefault(level, [])
+        heapq.heappush(heaps[level], (int(state.layer(edge)), graph.edge_id(edge), edge))
+        pushed.add(edge)
+
+    followers: Set[Edge] = set()
+
+    for level in sorted(heaps):
+        heap = heaps[level]
+        status: Dict[Edge, int] = {}
+        survived: Set[Edge] = set()
+
+        def effectiveness(edge: Edge, other: Edge) -> bool:
+            if other == anchor or state.is_anchor(other):
+                return True
+            if status.get(other) == _ELIMINATED:
+                return False
+            t_other = state.trussness(other)
+            if t_other < level:
+                return False
+            if status.get(other) == _SURVIVED:
+                return True
+            return state.precedes(edge, other)
+
+        def effective_triangles(edge: Edge) -> int:
+            count = 0
+            for e1, e2, _w in state._triangles_reference(edge):
+                if effectiveness(edge, e1) and effectiveness(edge, e2):
+                    count += 1
+            return count
+
+        def retract(edge: Edge) -> None:
+            stack = [edge]
+            while stack:
+                lost = stack.pop()
+                for e1, e2, _w in state._triangles_reference(lost):
+                    for neighbour in (e1, e2):
+                        if neighbour in survived and status.get(neighbour) == _SURVIVED:
+                            if effective_triangles(neighbour) < level - 1:
+                                status[neighbour] = _ELIMINATED
+                                survived.discard(neighbour)
+                                stack.append(neighbour)
+
+        while heap:
+            _layer, _edge_id, edge = heapq.heappop(heap)
+            if status.get(edge) is not None:
+                continue
+            if effective_triangles(edge) >= level - 1:
+                status[edge] = _SURVIVED
+                survived.add(edge)
+                edge_layer = state.layer(edge)
+                for e1, e2, _w in state._triangles_reference(edge):
+                    for neighbour in (e1, e2):
+                        if neighbour in pushed or state.is_anchor(neighbour):
+                            continue
+                        if candidate_filter is not None and neighbour not in candidate_filter:
+                            continue
+                        if (
+                            state.trussness(neighbour) == level
+                            and state.layer(neighbour) >= edge_layer
+                        ):
+                            heapq.heappush(
+                                heap,
+                                (int(state.layer(neighbour)), graph.edge_id(neighbour), neighbour),
+                            )
+                            pushed.add(neighbour)
+            else:
+                status[edge] = _ELIMINATED
+                retract(edge)
+
+        followers |= survived
+
+    followers.discard(anchor)
+    return followers

@@ -27,10 +27,14 @@ from repro.core.followers import FollowerMethod, compute_followers
 from repro.core.result import AnchorResult, evaluate_anchor_set
 from repro.core.reuse import ReuseDecision, ReuseStats, classify_reuse, compute_reuse_decision
 from repro.graph.graph import Edge, Graph
+from repro.graph.index import GraphIndex
 from repro.truss.state import TrussState
 from repro.utils.errors import InvalidParameterError
 
 CacheEntry = Dict[int, FrozenSet[Edge]]
+
+#: Shared empty sla set for edges that close no triangle.
+_EMPTY_SLA: FrozenSet[int] = frozenset()
 
 
 def gas(
@@ -70,6 +74,10 @@ def gas(
         )
 
     start = time.perf_counter()
+    # One frozen kernel snapshot is shared by every decomposition, follower
+    # recomputation and tree rebuild below (anchors are overlay sets, so the
+    # graph — and therefore the index — never changes during the run).
+    GraphIndex.of(graph)
     anchors: List[Edge] = [graph.require_edge(e) for e in initial_anchors]
     original_state = TrussState.compute(graph)
     state = (
@@ -77,7 +85,11 @@ def gas(
     )
     tree = TrussComponentTree.build(state)
 
-    cache: Dict[Edge, CacheEntry] = {}
+    # Follower cache F[e][node_id], keyed by dense edge id (stable for the
+    # lifetime of the run — the graph is never mutated), plus the cached
+    # total follower count per entry (recomputed only when the entry moves).
+    cache: Dict[int, CacheEntry] = {}
+    totals: Dict[int, int] = {}
     decision: Optional[ReuseDecision] = None
     per_round_gain: List[int] = []
     reuse_rounds: List[Dict[str, float]] = []
@@ -87,33 +99,53 @@ def gas(
     for _round in range(budget):
         stats = ReuseStats()
         recomputed_entries = 0
-        best_edge: Optional[Edge] = None
+        best_eid = -1
         best_count = -1
-        best_id = -1
+        # The candidate scan runs in the dense-id domain of the shared index:
+        # trussness deltas are list lookups, sla sets come precomputed from
+        # the tree, and the smallest-edge-id tie-break is plain eid order
+        # (dense ids are ascending in public edge id).
+        index, current_trussness, _ly, anchor_mask = state.kernel_views()
+        original_trussness = original_state.kernel_views()[1]
+        edge_of = index.edge_of
+        sla_sets = tree.sla_sets  # None only for reference-built trees
+        invalid_eids: Optional[Set[int]] = None
+        if decision is not None:
+            eid_of = index.eid_of
+            invalid_eids = {eid_of[e] for e in decision.invalid_edges}
 
-        for edge in state.non_anchor_edges():
-            sla_ids = tree.sla(edge)
-            entry = cache.get(edge)
-            if decision is None or entry is None or edge in decision.invalid_edges:
-                previous_ids: Set[int] = set(entry) if entry else set()
+        for eid in range(index.num_edges):
+            if anchor_mask[eid]:
+                continue
+            edge = edge_of[eid]
+            if sla_sets is not None:
+                sla_ids = sla_sets[eid] or _EMPTY_SLA  # precomputed, read-only
+            else:
+                sla_ids = tree.sla(edge)
+            entry = cache.get(eid)
+            dirty = False
+            if invalid_eids is None or entry is None or eid in invalid_eids:
                 entry = {}
-                cache[edge] = entry
+                cache[eid] = entry
                 needed = set(sla_ids)
+                dirty = True
                 if decision is not None:
                     stats.non_reusable += 1
             else:
                 for node_id in list(entry):
                     if node_id not in sla_ids:
                         del entry[node_id]
+                        dirty = True
+                invalid_node_ids = decision.invalid_node_ids
                 needed = {
                     node_id
                     for node_id in sla_ids
-                    if node_id not in entry or node_id in decision.invalid_node_ids
+                    if node_id not in entry or node_id in invalid_node_ids
                 }
-                category = classify_reuse(set(sla_ids), decision, edge)
+                category = classify_reuse(sla_ids, decision, edge)
                 if category == "FR" and not needed:
                     stats.fully_reusable += 1
-                elif needed and needed != set(sla_ids):
+                elif needed and len(needed) != len(sla_ids):
                     stats.partially_reusable += 1
                 elif needed:
                     stats.non_reusable += 1
@@ -122,45 +154,53 @@ def gas(
 
             if needed:
                 recomputed_entries += 1
-                candidate_filter: Set[Edge] = set()
+                candidate_filter_ids: Set[int] = set()
                 for node_id in needed:
-                    candidate_filter |= tree.nodes[node_id].edges
+                    candidate_filter_ids |= tree.nodes[node_id].edge_ids
                 followers = compute_followers(
-                    state, edge, method=method, candidate_filter=candidate_filter
+                    state, edge, method=method, candidate_filter_ids=candidate_filter_ids
                 )
                 buckets: Dict[int, Set[Edge]] = {node_id: set() for node_id in needed}
                 for follower in followers:
                     buckets[tree.node_of_edge[follower]].add(follower)
                 for node_id, bucket in buckets.items():
                     entry[node_id] = frozenset(bucket)
+                dirty = True
 
+            if dirty:
+                totals[eid] = sum(len(bucket) for bucket in entry.values())
             # Marginal gain of Definition 4: follower count minus the gain the
             # candidate itself accumulated as a follower of earlier anchors
             # (forfeited once it becomes an anchor).  Matches BASE / BASE+.
-            accumulated = int(state.trussness(edge)) - int(original_state.trussness(edge))
-            total = sum(len(bucket) for bucket in entry.values()) - accumulated
-            edge_id = graph.edge_id(edge)
-            if total > best_count or (total == best_count and edge_id < best_id):
-                best_edge, best_count, best_id = edge, total, edge_id
+            accumulated = current_trussness[eid] - original_trussness[eid]
+            total = totals[eid] - accumulated
+            if total > best_count:
+                best_eid, best_count = eid, total
 
-        if best_edge is None:
+        if best_eid < 0:
             break
+        best_edge = edge_of[best_eid]
 
         followers_of_best: Set[Edge] = set()
-        for bucket in cache[best_edge].values():
+        for bucket in cache[best_eid].values():
             followers_of_best |= bucket
 
         anchors.append(best_edge)
-        cache.pop(best_edge, None)
+        cache.pop(best_eid, None)
+        totals.pop(best_eid, None)
         per_round_gain.append(best_count)
         recompute_counts.append(recomputed_entries)
         if collect_reuse_stats and decision is not None:
             reuse_rounds.append(stats.fractions())
 
-        old_tree = tree
-        state = TrussState.compute(graph, anchors)
-        tree = TrussComponentTree.build(state)
-        decision = compute_reuse_decision(old_tree, tree, best_edge, followers_of_best)
+        if _round + 1 < budget:
+            # The re-decomposition, tree rebuild and reuse analysis only feed
+            # the next round's candidate scan; after the final anchor there is
+            # no next round.
+            old_tree = tree
+            state = TrussState.compute(graph, anchors)
+            tree = TrussComponentTree.build(state)
+            decision = compute_reuse_decision(old_tree, tree, best_edge, followers_of_best)
         cumulative_seconds.append(time.perf_counter() - start)
 
     elapsed = time.perf_counter() - start

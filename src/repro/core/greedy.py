@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional, Set, Tuple
 from repro.core.followers import FollowerMethod, compute_followers
 from repro.core.result import AnchorResult, evaluate_anchor_set
 from repro.graph.graph import Edge, Graph
+from repro.graph.index import GraphIndex
 from repro.truss.state import TrussState
 from repro.utils.errors import InvalidParameterError
 
@@ -66,6 +67,9 @@ def base_greedy(
     """
     _check_budget(graph, budget)
     start = time.perf_counter()
+    # One frozen kernel snapshot serves every candidate decomposition of
+    # every round (anchors are overlays; the graph itself never changes).
+    GraphIndex.of(graph)
     anchors: List[Edge] = [graph.require_edge(e) for e in initial_anchors]
     per_round_gain: List[int] = []
     cumulative_seconds: List[float] = []
@@ -115,6 +119,9 @@ def base_plus_greedy(
     """
     _check_budget(graph, budget)
     start = time.perf_counter()
+    # Shared kernel snapshot: the follower search of every candidate in every
+    # round reads the same precomputed triangle lists.
+    GraphIndex.of(graph)
     anchors: List[Edge] = [graph.require_edge(e) for e in initial_anchors]
     per_round_gain: List[int] = []
     cumulative_seconds: List[float] = []
@@ -122,13 +129,15 @@ def base_plus_greedy(
 
     for _ in range(budget):
         state = TrussState.compute(graph, anchors)
+        current_trussness = state.decomposition.trussness
+        original_trussness = original_state.decomposition.trussness
         scored = []
         for edge in state.non_anchor_edges():
             followers = compute_followers(state, edge, method=method)
             # Marginal gain of Definition 4: the follower count minus the gain
             # the candidate itself accumulated as a follower of earlier
             # anchors (that gain is forfeited once the edge becomes an anchor).
-            accumulated = int(state.trussness(edge)) - int(original_state.trussness(edge))
+            accumulated = current_trussness[edge] - original_trussness[edge]
             scored.append((edge, len(followers) - accumulated))
         best_edge, best_score = _pick_best(graph, scored)
         if best_edge is None:

@@ -82,12 +82,147 @@ def compute_reuse_decision(
         Its follower set (their trussness rose by one).
     """
     decision = ReuseDecision()
+    invalid_node_ids = decision.invalid_node_ids
+    invalid_edges = decision.invalid_edges
+    old_state = old_tree.state
+    new_state = new_tree.state
 
-    old_signatures = old_tree.signatures()
-    new_signatures = new_tree.signatures()
+    old_index, old_t_arr, old_l_arr, old_anchor = old_state.kernel_views()
+    new_index, new_t_arr, new_l_arr, _new_anchor = new_state.kernel_views()
+    old_node_of_eid = old_tree.node_of_eid
+    new_node_of_eid = new_tree.node_of_eid
+    fast = (
+        old_index is new_index
+        and old_node_of_eid is not None
+        and new_node_of_eid is not None
+    )
 
-    # 1. Nodes that changed membership, trussness or layers — or disappeared
-    #    or newly appeared — are invalid.
+    if fast:
+        # Steps 1 + 4 fused in the dense-id domain.  An old node's signature
+        # (edge membership plus per-edge t/l) differs from the new node of
+        # the same id exactly when the edge-id sets differ or some member
+        # edge's (t, l) changed — so one array scan for changed edges plus a
+        # per-node membership comparison reproduces the tuple-signature
+        # comparison below without materialising any signatures.
+        edge_of = old_index.edge_of
+        for eid in range(old_index.num_edges):
+            if old_anchor[eid]:
+                continue
+            if new_t_arr[eid] != old_t_arr[eid] or new_l_arr[eid] != old_l_arr[eid]:
+                # 4. Edges whose own t/l changed cannot reuse anything: their
+                #    candidate generation (Lemma 2 cond (i)) depends on t/l.
+                invalid_edges.add(edge_of[eid])
+                invalid_node_ids.add(old_node_of_eid[eid])
+                new_node = new_node_of_eid[eid]
+                if new_node >= 0:  # the edge may be the new anchor
+                    invalid_node_ids.add(new_node)
+        old_nodes = old_tree.nodes
+        new_nodes = new_tree.nodes
+        for node_id, node in old_nodes.items():
+            new_node = new_nodes.get(node_id)
+            if new_node is None or new_node.edge_ids != node.edge_ids:
+                invalid_node_ids.add(node_id)
+        for node_id in new_nodes:
+            if node_id not in old_nodes:
+                invalid_node_ids.add(node_id)
+    else:  # pragma: no cover - reference-built trees / distinct snapshots
+        # 1. Nodes that changed membership, trussness or layers — or
+        #    disappeared or newly appeared — are invalid.
+        old_signatures = old_tree.signatures()
+        new_signatures = new_tree.signatures()
+        for node_id, signature in old_signatures.items():
+            if new_signatures.get(node_id) != signature:
+                invalid_node_ids.add(node_id)
+        for node_id in new_signatures:
+            if node_id not in old_signatures:
+                invalid_node_ids.add(node_id)
+        # 4. Edges whose own trussness or layer changed.
+        old_layer = old_state.decomposition.layer
+        new_trussness = new_state.decomposition.trussness
+        new_layer = new_state.decomposition.layer
+        for edge, old_t in old_state.decomposition.trussness.items():
+            new_t = new_trussness.get(edge)
+            if new_t is None:
+                # The edge is anchored in the new state (it has no trussness).
+                invalid_edges.add(edge)
+            elif new_t != old_t or new_layer[edge] != old_layer[edge]:
+                invalid_edges.add(edge)
+
+    # 2. Every node adjacent to the committed anchor with trussness at least
+    #    t(x) may now host followers it could not host before (the anchor's
+    #    support became infinite), so it is invalidated in both trees.
+    invalid_node_ids |= old_tree.sla(committed_anchor)
+    if not new_state.is_anchor(committed_anchor):  # pragma: no cover - defensive
+        invalid_node_ids |= new_tree.sla(committed_anchor)
+    if committed_anchor in old_tree.node_of_edge:
+        invalid_node_ids.add(old_tree.node_of_edge[committed_anchor])
+
+    # 3. Nodes that hosted the followers before, and nodes hosting them now.
+    for follower in committed_followers:
+        if follower in old_tree.node_of_edge:
+            invalid_node_ids.add(old_tree.node_of_edge[follower])
+        if follower in new_tree.node_of_edge:
+            invalid_node_ids.add(new_tree.node_of_edge[follower])
+
+    return decision
+
+
+def classify_reuse(
+    cached_ids: Set[int],
+    decision: ReuseDecision,
+    edge: Edge,
+) -> str:
+    """Classify one edge's cache entry as "FR", "PR" or "NR" (Fig. 10).
+
+    ``cached_ids`` is only read (membership tests), so callers may pass a
+    shared set without copying.
+    """
+    if edge in decision.invalid_edges or not cached_ids:
+        return "NR"
+    invalid_node_ids = decision.invalid_node_ids
+    invalid = sum(1 for node_id in cached_ids if node_id in invalid_node_ids)
+    if not invalid:
+        return "FR"
+    if invalid == len(cached_ids):
+        return "NR"
+    return "PR"
+
+
+# ---------------------------------------------------------------------------
+# Seed reference implementation (benchmark "before" bar)
+# ---------------------------------------------------------------------------
+def _signatures_reference(tree: TrussComponentTree):
+    """Seed per-call signature computation (no caching, state-API lookups)."""
+    state = tree.state
+    result = {}
+    for node_id, node in tree.nodes.items():
+        detail = tuple(
+            sorted(
+                (edge, float(state.trussness(edge)), float(state.layer(edge)))
+                for edge in node.edges
+            )
+        )
+        result[node_id] = (node.edges, detail)
+    return result
+
+
+def compute_reuse_decision_reference(
+    old_tree: TrussComponentTree,
+    new_tree: TrussComponentTree,
+    committed_anchor: Edge,
+    committed_followers: Set[Edge],
+) -> ReuseDecision:
+    """Seed implementation of the invalidation analysis.
+
+    Kept verbatim — fresh per-call signatures, per-edge state-API t/l
+    comparisons — as the "before" bar of ``benchmarks/bench_kernel.py``.
+    Returns exactly the same decision as :func:`compute_reuse_decision`.
+    """
+    decision = ReuseDecision()
+
+    old_signatures = _signatures_reference(old_tree)
+    new_signatures = _signatures_reference(new_tree)
+
     for node_id, signature in old_signatures.items():
         if new_signatures.get(node_id) != signature:
             decision.invalid_node_ids.add(node_id)
@@ -95,9 +230,6 @@ def compute_reuse_decision(
         if node_id not in old_signatures:
             decision.invalid_node_ids.add(node_id)
 
-    # 2. Every node adjacent to the committed anchor with trussness at least
-    #    t(x) may now host followers it could not host before (the anchor's
-    #    support became infinite), so it is invalidated in both trees.
     old_state = old_tree.state
     decision.invalid_node_ids |= old_tree.sla(committed_anchor)
     if not new_tree.state.is_anchor(committed_anchor):  # pragma: no cover - defensive
@@ -105,15 +237,12 @@ def compute_reuse_decision(
     if committed_anchor in old_tree.node_of_edge:
         decision.invalid_node_ids.add(old_tree.node_of_edge[committed_anchor])
 
-    # 3. Nodes that hosted the followers before, and nodes hosting them now.
     for follower in committed_followers:
         if follower in old_tree.node_of_edge:
             decision.invalid_node_ids.add(old_tree.node_of_edge[follower])
         if follower in new_tree.node_of_edge:
             decision.invalid_node_ids.add(new_tree.node_of_edge[follower])
 
-    # 4. Edges whose own trussness or layer changed cannot reuse anything:
-    #    their candidate generation (Lemma 2 condition (i)) depends on t/l.
     new_state = new_tree.state
     for edge in old_state.non_anchor_edges():
         if new_state.is_anchor(edge):
@@ -126,19 +255,3 @@ def compute_reuse_decision(
             decision.invalid_edges.add(edge)
 
     return decision
-
-
-def classify_reuse(
-    cached_ids: Set[int],
-    decision: ReuseDecision,
-    edge: Edge,
-) -> str:
-    """Classify one edge's cache entry as "FR", "PR" or "NR" (Fig. 10)."""
-    if edge in decision.invalid_edges or not cached_ids:
-        return "NR"
-    invalid = {node_id for node_id in cached_ids if node_id in decision.invalid_node_ids}
-    if not invalid:
-        return "FR"
-    if invalid == cached_ids:
-        return "NR"
-    return "PR"

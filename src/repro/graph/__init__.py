@@ -8,12 +8,14 @@ here rather than an afterthought).
 """
 
 from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.index import GraphIndex, peel_trussness
 from repro.graph.triangles import (
     common_neighbors,
     edge_support,
     neighbor_edges,
     support_map,
     triangle_connected_components,
+    triangle_connected_components_reference,
     triangles_of_edge,
     triangles_of_graph,
 )
@@ -35,8 +37,11 @@ from repro.graph.sampling import sample_edges, sample_vertices
 __all__ = [
     "Edge",
     "Graph",
+    "GraphIndex",
     "normalize_edge",
+    "peel_trussness",
     "common_neighbors",
+    "triangle_connected_components_reference",
     "edge_support",
     "neighbor_edges",
     "support_map",

@@ -48,13 +48,18 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_adj", "_edge_ids", "_edges_by_id", "_next_edge_id")
+    __slots__ = ("_adj", "_edge_ids", "_edges_by_id", "_next_edge_id", "_version", "_index")
 
     def __init__(self) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._edge_ids: Dict[Edge, int] = {}
         self._edges_by_id: Dict[int, Edge] = {}
         self._next_edge_id = 0
+        # Mutation counter + cached GraphIndex snapshot (see repro.graph.index).
+        # The counter only ever grows, so a cached index is valid exactly when
+        # its recorded version matches.
+        self._version = 0
+        self._index = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -76,12 +81,19 @@ class Graph:
         clone._next_edge_id = self._next_edge_id
         return clone
 
+    def bump_version(self) -> None:
+        """Invalidate any cached derived structures (called on every mutation)."""
+        self._version += 1
+        self._index = None
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add_vertex(self, u: Vertex) -> None:
         """Add an isolated vertex (no-op if it already exists)."""
-        self._adj.setdefault(u, set())
+        if u not in self._adj:
+            self._adj[u] = set()
+            self.bump_version()
 
     def add_edge(self, u: Vertex, v: Vertex) -> Edge:
         """Add edge (u, v); return the canonical edge tuple.
@@ -96,6 +108,7 @@ class Graph:
         self._edge_ids[edge] = self._next_edge_id
         self._edges_by_id[self._next_edge_id] = edge
         self._next_edge_id += 1
+        self.bump_version()
         return edge
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
@@ -107,6 +120,7 @@ class Graph:
         self._adj[edge[1]].discard(edge[0])
         edge_id = self._edge_ids.pop(edge)
         del self._edges_by_id[edge_id]
+        self.bump_version()
 
     def remove_vertex(self, u: Vertex) -> None:
         """Remove a vertex and all incident edges."""
@@ -115,6 +129,7 @@ class Graph:
         for v in list(self._adj[u]):
             self.remove_edge(u, v)
         del self._adj[u]
+        self.bump_version()
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,0 +1,282 @@
+"""Integer-indexed acceleration kernel shared by every truss hot path.
+
+The public API of the library speaks in vertex objects and normalised edge
+tuples, which is convenient but slow: every triangle query re-intersects
+adjacency sets and every bookkeeping structure hashes tuples.  This module
+provides :class:`GraphIndex`, a *frozen snapshot* of a :class:`Graph` in a
+dense integer domain:
+
+* vertices are mapped to dense ids ``0 .. n-1`` (insertion order) and edges
+  to dense ids ``0 .. m-1`` ordered by their stable public edge id, so the
+  smallest-edge-id tie-breaking used by the solvers carries over unchanged;
+* the adjacency is stored CSR-style (``adj_offsets`` / ``adj_vertices`` /
+  ``adj_edges``, neighbour lists sorted by vertex id);
+* every triangle of the graph is enumerated exactly once at build time and
+  recorded twice: as a flat list of edge-id triples (``triangles``, used by
+  the union-find of triangle connectivity) and as per-edge lists of
+  ``(other_edge, other_edge, apex_vertex)`` entries (``edge_triangles``,
+  used by the peeling kernel and the follower machinery);
+* ``support[e]`` is the triangle count of edge ``e`` — an O(1) lookup.
+
+Immutability / overlay contract
+-------------------------------
+The index never changes after construction.  Anchors and peeled edges are
+modelled as *overlays* (bytearray flags, candidate sets) by the algorithms
+on top; this is what lets one index serve every anchored decomposition,
+follower computation and greedy round for a given graph.  The index is
+cached on the graph and invalidated by a version counter that every graph
+mutation bumps, so holding ``GraphIndex.of(graph)`` is always safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Edge, Graph, Vertex
+
+__all__ = ["GraphIndex", "peel_trussness"]
+
+
+class GraphIndex:
+    """Frozen integer-indexed snapshot of a :class:`Graph` (see module docs)."""
+
+    __slots__ = (
+        "version",
+        "num_vertices",
+        "num_edges",
+        "vertex_of",
+        "vid_of",
+        "edge_of",
+        "eid_of",
+        "stable_ids",
+        "adj_offsets",
+        "adj_vertices",
+        "adj_edges",
+        "triangles",
+        "edge_triangles",
+        "support",
+        "max_support",
+        "_tuple_triangles",
+        "_support_buckets",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        self.version: int = graph._version
+        #: Dense vertex id <-> vertex object.
+        self.vertex_of: List[Vertex] = list(graph.vertices())
+        vid_of = {u: i for i, u in enumerate(self.vertex_of)}
+        self.vid_of: Dict[Vertex, int] = vid_of
+        #: Dense edge id <-> canonical edge tuple, ordered by stable edge id
+        #: (insertion order), so dense-id order == public-id order.
+        by_stable_id = sorted(graph._edges_by_id.items())
+        self.stable_ids: List[int] = [item[0] for item in by_stable_id]
+        edge_of: List[Edge] = [item[1] for item in by_stable_id]
+        self.edge_of = edge_of
+        eid_of = {e: i for i, e in enumerate(edge_of)}
+        self.eid_of: Dict[Edge, int] = eid_of
+        n = self.num_vertices = len(self.vertex_of)
+        m = self.num_edges = len(edge_of)
+
+        # CSR adjacency: per-vertex (neighbour vid, incident eid) pairs,
+        # sorted by neighbour id, flattened into offset/value arrays.
+        incident: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for eid, (u, v) in enumerate(edge_of):
+            a, b = vid_of[u], vid_of[v]
+            incident[a].append((b, eid))
+            incident[b].append((a, eid))
+        adj_offsets: List[int] = [0] * (n + 1)
+        adj_vertices: List[int] = []
+        adj_edges: List[int] = []
+        for vid, pairs in enumerate(incident):
+            pairs.sort()
+            for w, eid in pairs:
+                adj_vertices.append(w)
+                adj_edges.append(eid)
+            adj_offsets[vid + 1] = len(adj_vertices)
+        self.adj_offsets = adj_offsets
+        self.adj_vertices = adj_vertices
+        self.adj_edges = adj_edges
+
+        # Triangle enumeration straight off the graph's own adjacency sets:
+        # each triangle {u < v < w} (vertex order) is discovered exactly once,
+        # at its lowest edge (u, v) with apex w.  The common-apex set is one
+        # C-level set intersection; only actual triangles pay for edge-id
+        # lookups.  Apexes are stored as vertex objects (the integer kernels
+        # ignore them; only the tuple-domain views read them).
+        adj = graph._adj
+        triangles: List[Tuple[int, int, int]] = []
+        edge_triangles: List[List[Tuple[int, int, Vertex]]] = [[] for _ in range(m)]
+        for e_uv, (u, v) in enumerate(edge_of):
+            common = adj[u] & adj[v]
+            if common:
+                tri_uv = edge_triangles[e_uv]
+                for w in common:
+                    if w > v:  # u < v < w: (u, w) and (v, w) are canonical
+                        e_uw = eid_of[(u, w)]
+                        e_vw = eid_of[(v, w)]
+                        triangles.append((e_uv, e_uw, e_vw))
+                        tri_uv.append((e_uw, e_vw, w))
+                        edge_triangles[e_uw].append((e_uv, e_vw, v))
+                        edge_triangles[e_vw].append((e_uv, e_uw, u))
+        self.triangles = triangles
+        self.edge_triangles = edge_triangles
+        #: support[e] == number of triangles through e (Definition 1).
+        self.support: List[int] = [len(entry) for entry in edge_triangles]
+        self.max_support: int = max(self.support, default=0)
+        # Per-edge triangle lists converted back to the tuple domain, built
+        # lazily the first time an edge is queried through the public API.
+        self._tuple_triangles: List[Optional[List[Tuple[Edge, Edge, Vertex]]]] = [None] * m
+        self._support_buckets: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, graph: Graph) -> "GraphIndex":
+        """Return the (cached) index of ``graph``, rebuilding it if the graph
+        was mutated since the cached snapshot was taken."""
+        index = graph._index
+        if index is not None and index.version == graph._version:
+            return index
+        index = cls(graph)
+        graph._index = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def edge_support(self, edge: Edge) -> int:
+        """O(1) support lookup for a canonical edge tuple."""
+        return self.support[self.eid_of[edge]]
+
+    def triangle_tuples(self, eid: int) -> List[Tuple[Edge, Edge, Vertex]]:
+        """Triangles through dense edge ``eid`` in the tuple domain.
+
+        Each entry is ``(other_edge_1, other_edge_2, apex_vertex)``; the list
+        is built once per edge and cached for the lifetime of the index,
+        which amortises the id->tuple conversion across the many repeated
+        queries the follower machinery performs.
+        """
+        cached = self._tuple_triangles[eid]
+        if cached is None:
+            edge_of = self.edge_of
+            cached = [
+                (edge_of[a], edge_of[b], w) for a, b, w in self.edge_triangles[eid]
+            ]
+            self._tuple_triangles[eid] = cached
+        return cached
+
+    def neighbors_csr(self, vid: int) -> Tuple[Sequence[int], Sequence[int]]:
+        """The CSR slice of vertex ``vid``: (neighbour vids, incident eids)."""
+        lo, hi = self.adj_offsets[vid], self.adj_offsets[vid + 1]
+        return self.adj_vertices[lo:hi], self.adj_edges[lo:hi]
+
+    def support_buckets(self) -> List[List[int]]:
+        """Edge ids grouped by initial support (``buckets[s]`` = edges with
+        support exactly ``s``).  Built once and shared by every peeling run —
+        the buckets are read-only there; per-run state (aliveness, dynamic
+        re-bucketing) lives in the peeling overlay.  Do not mutate."""
+        buckets = self._support_buckets
+        if buckets is None:
+            buckets = [[] for _ in range(self.max_support + 1)]
+            for eid, value in enumerate(self.support):
+                buckets[value].append(eid)
+            self._support_buckets = buckets
+        return buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"GraphIndex(n={self.num_vertices}, m={self.num_edges}, "
+            f"triangles={len(self.triangles)})"
+        )
+
+
+def peel_trussness(
+    index: GraphIndex, anchor_eids: Sequence[int] = ()
+) -> Tuple[List[int], List[int], int]:
+    """Bucket-queue truss peeling over dense edge ids (Algorithm 1).
+
+    Returns ``(trussness, layer, k_max)`` where the two lists are indexed by
+    dense edge id (anchored edges keep the sentinel value 0) and the layer is
+    the synchronous peeling round within the phase, exactly matching the
+    semantics of the reference implementation in
+    :func:`repro.truss.decomposition.truss_decomposition_reference`.
+
+    The peeling never touches adjacency sets: triangle updates come from the
+    precomputed per-edge triple lists, with a bytearray of aliveness flags as
+    the removal overlay.  Edges whose support drops (but stays above the
+    current threshold) are appended lazily to the dynamic bucket of their new
+    support value; phase ``k`` then drains exactly the static and dynamic
+    buckets at ``k - 2`` — an entry there is either live with support
+    ``<= k - 2`` (supports only decrease after being recorded) or stale and
+    skipped via the ``scheduled`` / ``alive`` flags.
+    """
+    m = index.num_edges
+    support = list(index.support)
+    tri = index.edge_triangles
+
+    alive = bytearray(b"\x01") * m
+    is_anchor = bytearray(m)
+    anchor_count = 0
+    for eid in anchor_eids:
+        if not is_anchor[eid]:
+            is_anchor[eid] = 1
+            anchor_count += 1
+    remaining = m - anchor_count
+
+    trussness = [0] * m
+    layer = [0] * m
+    scheduled = bytearray(m)
+
+    max_support = index.max_support
+    static_buckets = index.support_buckets()
+    buckets: List[List[int]] = [[] for _ in range(max_support + 1)]
+
+    k = 2
+    k_max = 1
+    while remaining:
+        threshold = k - 2
+        frontier: List[int] = []
+        if threshold <= max_support:
+            for bucket in (static_buckets[threshold], buckets[threshold]):
+                for eid in bucket:
+                    if alive[eid] and not scheduled[eid] and not is_anchor[eid]:
+                        scheduled[eid] = 1
+                        frontier.append(eid)
+            buckets[threshold] = []
+        frontier.sort()
+
+        layer_index = 0
+        while frontier:
+            layer_index += 1
+            next_frontier: List[int] = []
+            for eid in frontier:
+                trussness[eid] = k
+                layer[eid] = layer_index
+                alive[eid] = 0
+                remaining -= 1
+                for a, b, _w in tri[eid]:
+                    if alive[a] and alive[b]:
+                        sa = support[a] - 1
+                        support[a] = sa
+                        sb = support[b] - 1
+                        support[b] = sb
+                        if not is_anchor[a] and not scheduled[a]:
+                            if sa <= threshold:
+                                scheduled[a] = 1
+                                next_frontier.append(a)
+                            else:
+                                buckets[sa].append(a)
+                        if not is_anchor[b] and not scheduled[b]:
+                            if sb <= threshold:
+                                scheduled[b] = 1
+                                next_frontier.append(b)
+                            else:
+                                buckets[sb].append(b)
+            next_frontier.sort()
+            frontier = next_frontier
+        if layer_index:
+            k_max = k
+        k += 1
+
+    return trussness, layer, k_max

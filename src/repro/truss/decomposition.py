@@ -24,10 +24,13 @@ and is the one under which the upward-route characterisation of followers
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.index import GraphIndex, peel_trussness
 from repro.utils.errors import InvalidEdgeError, InvalidParameterError
 
 
@@ -53,25 +56,44 @@ class TrussDecomposition:
     layer: Dict[Edge, int]
     anchors: FrozenSet[Edge]
     k_max: int
+    #: Dense per-edge-id views ``(index, trussness, layer, anchor_mask)``
+    #: attached by the kernel decomposition (``None`` when constructed by the
+    #: reference implementation or by hand).  Anchored edges hold ``inf`` in
+    #: the arrays.  Excluded from equality/repr: it is a cache, not data.
+    dense_views: object = field(default=None, compare=False, repr=False)
+
+    @cached_property
+    def _hull_index(self) -> Dict[int, FrozenSet[Edge]]:
+        """Edges grouped by trussness, computed once (the decomposition is
+        frozen, so the grouping can never go stale)."""
+        grouped: Dict[int, Set[Edge]] = {}
+        for edge, value in self.trussness.items():
+            grouped.setdefault(value, set()).add(edge)
+        return {k: frozenset(members) for k, members in grouped.items()}
+
+    @cached_property
+    def _layer_index(self) -> Dict[int, Dict[int, FrozenSet[Edge]]]:
+        """Hull edges further grouped by peeling layer, computed once."""
+        grouped: Dict[int, Dict[int, Set[Edge]]] = {}
+        layer = self.layer
+        for edge, value in self.trussness.items():
+            grouped.setdefault(value, {}).setdefault(layer[edge], set()).add(edge)
+        return {
+            k: {i: frozenset(members) for i, members in layers.items()}
+            for k, layers in grouped.items()
+        }
 
     def hull(self, k: int) -> Set[Edge]:
         """The k-hull: all (non-anchored) edges with trussness exactly k."""
-        return {edge for edge, value in self.trussness.items() if value == k}
+        return set(self._hull_index.get(k, frozenset()))
 
     def hulls(self) -> Dict[int, Set[Edge]]:
         """All k-hulls keyed by k."""
-        result: Dict[int, Set[Edge]] = {}
-        for edge, value in self.trussness.items():
-            result.setdefault(value, set()).add(edge)
-        return result
+        return {k: set(members) for k, members in self._hull_index.items()}
 
     def layers_of_hull(self, k: int) -> Dict[int, Set[Edge]]:
         """The layers ``L_k^i`` of the k-hull, keyed by layer index ``i``."""
-        result: Dict[int, Set[Edge]] = {}
-        for edge, value in self.trussness.items():
-            if value == k:
-                result.setdefault(self.layer[edge], set()).add(edge)
-        return result
+        return {i: set(members) for i, members in self._layer_index.get(k, {}).items()}
 
 
 def truss_decomposition(
@@ -93,9 +115,57 @@ def truss_decomposition(
 
     Notes
     -----
-    The running time is ``O(m^{1.5})`` triangle-listing time plus the cost of
-    the per-phase scans, matching the complexity quoted in the paper for
-    Algorithm 1.
+    Runs on the integer-indexed kernel (:mod:`repro.graph.index`): the
+    triangle lists are computed once per graph snapshot (``O(m^{1.5})``) and
+    shared by every subsequent decomposition of the same graph, so anchored
+    re-decompositions — the inner loop of BASE and of every greedy round —
+    only pay for the bucket peeling itself.  The result is identical to
+    :func:`truss_decomposition_reference` (the test-suite asserts this on
+    random graphs, including anchored cases).
+    """
+    anchor_set: FrozenSet[Edge] = frozenset(graph.require_edge(e) for e in anchors)
+    index = GraphIndex.of(graph)
+    trussness_arr, layer_arr, k_max = peel_trussness(
+        index, [index.eid_of[e] for e in anchor_set]
+    )
+    # C-level dict construction over all edges, then drop the (few) anchors,
+    # which carry the sentinel value 0 in the kernel arrays.
+    edge_of = index.edge_of
+    trussness: Dict[Edge, int] = dict(zip(edge_of, trussness_arr))
+    layer: Dict[Edge, int] = dict(zip(edge_of, layer_arr))
+    for edge in anchor_set:
+        del trussness[edge]
+        del layer[edge]
+    # Re-purpose the kernel arrays as the dense per-eid views shared with the
+    # follower machinery and the component tree (anchors switch from the
+    # peeling sentinel 0 to the inf the state-level API reports).
+    anchor_mask = bytearray(index.num_edges)
+    eid_of = index.eid_of
+    inf = math.inf
+    for edge in anchor_set:
+        eid = eid_of[edge]
+        anchor_mask[eid] = 1
+        trussness_arr[eid] = inf
+        layer_arr[eid] = inf
+    return TrussDecomposition(
+        trussness=trussness,
+        layer=layer,
+        anchors=anchor_set,
+        k_max=k_max,
+        dense_views=(index, trussness_arr, layer_arr, anchor_mask),
+    )
+
+
+def truss_decomposition_reference(
+    graph: Graph, anchors: Iterable[Edge] = ()
+) -> TrussDecomposition:
+    """Tuple-domain reference implementation of Algorithm 1.
+
+    This is the original (pre-kernel) implementation, kept as the ground
+    truth for the equivalence tests in ``tests/test_graph_index.py`` and as
+    the "before" timing of ``benchmarks/bench_kernel.py``.  It is
+    deliberately untouched: live adjacency sets, per-removal set
+    intersections and per-phase scans over the remaining edges.
     """
     anchor_set: FrozenSet[Edge] = frozenset(graph.require_edge(e) for e in anchors)
 

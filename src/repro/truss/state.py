@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.graph import Edge, Graph, Vertex, normalize_edge
+from repro.graph.index import GraphIndex
 from repro.graph.triangles import common_neighbors
 from repro.truss.decomposition import TrussDecomposition, truss_decomposition
 from repro.utils.errors import InvalidEdgeError, InvalidParameterError
@@ -106,8 +107,66 @@ class TrussState:
     # ------------------------------------------------------------------
     # Triangle queries used by the follower machinery
     # ------------------------------------------------------------------
+    @property
+    def index(self) -> GraphIndex:
+        """The shared integer-indexed kernel snapshot of the graph.
+
+        The index is cached on the graph itself (invalidated by mutation), so
+        every state, follower computation and greedy round over the same
+        graph shares one set of precomputed triangle lists.
+        """
+        return GraphIndex.of(self.graph)
+
+    def kernel_views(self) -> Tuple[GraphIndex, List[float], List[float], bytearray]:
+        """Dense per-edge-id views ``(index, trussness, layer, anchor_mask)``.
+
+        ``trussness[eid]`` / ``layer[eid]`` mirror :meth:`trussness` /
+        :meth:`layer` (anchored edges hold ``inf``), and ``anchor_mask`` is a
+        0/1 byte per edge.  Built once per state (the decomposition is fixed)
+        and shared by the follower machinery and the component tree, which
+        replaces per-query tuple hashing with list indexing.  Treat all three
+        as read-only.
+        """
+        index = GraphIndex.of(self.graph)
+        attached = self.decomposition.dense_views
+        if attached is not None and attached[0] is index:
+            return attached
+        cached = getattr(self, "_kernel_views", None)
+        if cached is not None and cached[0] is index:
+            return cached
+        m = index.num_edges
+        eid_of = index.eid_of
+        trussness: List[float] = [math.inf] * m
+        layer: List[float] = [math.inf] * m
+        layer_dict = self.decomposition.layer
+        for edge, value in self.decomposition.trussness.items():
+            eid = eid_of[edge]
+            trussness[eid] = value
+            layer[eid] = layer_dict[edge]
+        anchor_mask = bytearray(m)
+        for edge in self.anchors:
+            anchor_mask[eid_of[edge]] = 1
+        views = (index, trussness, layer, anchor_mask)
+        self._kernel_views = views
+        return views
+
+    def triangle_list(self, edge: Edge) -> List[Tuple[Edge, Edge, Vertex]]:
+        """The triangles through ``edge`` as a cached list (do not mutate).
+
+        This is the hot-path variant of :meth:`triangles`: the id->tuple
+        conversion happens once per edge per graph snapshot, so the repeated
+        queries of the support-check / retract machinery cost a list lookup.
+        """
+        index = self.index
+        return index.triangle_tuples(index.eid_of[self.graph.require_edge(edge)])
+
     def triangles(self, edge: Edge) -> Iterator[Tuple[Edge, Edge, Vertex]]:
         """Yield ``(edge_uw, edge_vw, w)`` for every triangle through ``edge``."""
+        return iter(self.triangle_list(edge))
+
+    def _triangles_reference(self, edge: Edge) -> Iterator[Tuple[Edge, Edge, Vertex]]:
+        """Pre-kernel triangle query (per-call set intersection); kept for the
+        equivalence tests and the before/after benchmark harness."""
         u, v = self.graph.require_edge(edge)
         for w in common_neighbors(self.graph, u, v):
             yield (normalize_edge(u, w), normalize_edge(v, w), w)
@@ -115,7 +174,7 @@ class TrussState:
     def neighbor_edges(self, edge: Edge) -> Set[Edge]:
         """All edges sharing at least one triangle with ``edge``."""
         result: Set[Edge] = set()
-        for e1, e2, _w in self.triangles(edge):
+        for e1, e2, _w in self.triangle_list(edge):
             result.add(e1)
             result.add(e2)
         return result

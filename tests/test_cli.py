@@ -38,6 +38,7 @@ class TestSolve:
 
 
 class TestExperiment:
+    @pytest.mark.slow
     def test_table4_via_cli(self, capsys):
         assert main(["experiment", "table4", "--profile", "quick"]) == 0
         assert "Table IV" in capsys.readouterr().out
@@ -48,6 +49,7 @@ class TestExperiment:
 
 
 class TestReport:
+    @pytest.mark.slow
     def test_report_with_subset(self, capsys):
         assert main(["report", "--profile", "quick", "--only", "table4"]) == 0
         output = capsys.readouterr().out
