@@ -1,27 +1,28 @@
 #!/usr/bin/env python
-"""Before/after benchmark of the integer-indexed truss kernel.
+"""Before/after benchmark of the truss kernel and the solver engine.
 
-Times three hot paths on the registry stand-ins at the Fig. 9 scalability
-sizes, with the seed (tuple-domain) implementation as the "before" bar and
-the :mod:`repro.graph.index` kernel as the "after" bar:
+Two generations of the same harness write into ``BENCH_kernel.json``:
 
-* ``truss_decomposition`` — one cold call (kernel pays the index build) and
-  an anchored sequence (one decomposition per growing anchor set, the access
-  pattern of every greedy round);
-* ``compute_followers`` (support-check, Algorithm 3) over a slate of
-  candidate edges against a fresh state;
-* end-to-end ``gas()`` on edge-sampled Fig. 9 graphs.
+* the **PR 1 sections** (``decomposition`` / ``followers`` / ``gas``) time
+  the integer-indexed kernel against the seed tuple-domain implementation
+  (``legacy_mode`` patches the seams).  The "after" bar is the *pre-engine*
+  solver stack, preserved as ``gas_reference``, so the numbers stay
+  comparable across PRs;
+* the **``engine`` section** (PR 2) times the ``SolverEngine`` layer —
+  incremental re-peeling of commits and of BASE's per-candidate
+  evaluations — against that same pre-engine stack
+  (``base_greedy_reference`` / ``gas_reference``) on the Fig. 9 stand-ins.
+  Targets: BASE >= 5x end to end, GAS no slower (>= 0.9x to absorb noise).
 
-The "before" numbers run the *original seed code*, which is kept importable
-exactly for this purpose (``truss_decomposition_reference``,
-``triangle_connected_components_reference``, ``TrussState._triangles_reference``);
-:func:`legacy_mode` patches the three seams so the whole solver stack runs
-tuple-domain, then restores the kernel.
+Run with::
 
-Results are written to ``BENCH_kernel.json`` at the repository root so later
-PRs can extend the trajectory.  Run with::
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--full] [--smoke]
+        [--engine-only] [--output PATH]
 
-    PYTHONPATH=src python benchmarks/bench_kernel.py [--full] [--output PATH]
+``--engine-only`` recomputes just the ``engine`` section and merges it into
+the existing output file (append, don't replace — the PR 1 numbers keep
+their provenance).  ``--smoke`` shrinks every section to the smallest
+stand-in for CI.
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ import argparse
 import json
 import math
 import sys
+import tempfile
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -42,7 +44,8 @@ from repro.core.followers_reference import (
     followers_candidate_peel_reference,
     followers_support_check_reference,
 )
-from repro.core.gas import gas
+from repro.core.gas import gas, gas_reference
+from repro.core.greedy import base_greedy, base_greedy_reference
 from repro.core.reuse import compute_reuse_decision_reference
 from repro.datasets import load_dataset
 from repro.graph.graph import Graph
@@ -98,8 +101,8 @@ def legacy_mode() -> Iterator[None]:
     Patches the four kernel seams: the decomposition used by
     ``TrussState.compute``, the component-tree construction (per-level
     tuple-domain triangle connectivity, per-edge ``sla``), the follower
-    machinery used by the GAS loop, and the triangle queries behind
-    ``TrussState.triangle_list``.
+    machinery used by the (pre-engine) GAS loop, and the triangle queries
+    behind ``TrussState.triangle_list``.
     """
     saved_decomposition = state_module.truss_decomposition
     saved_build = TrussComponentTree.build
@@ -213,18 +216,21 @@ def bench_followers(name: str, graph: Graph) -> Dict[str, object]:
 
 
 def bench_gas(name: str, graph: Graph, budget: int, repeats: int = 5) -> Dict[str, object]:
-    # Pre-warm the graph's cached index so the legacy run does not pay for a
-    # kernel structure it never uses; the kernel run gets a fresh copy and
-    # pays its own index build end-to-end.  Best-of-N on both sides to shave
+    # The "kernel" bar of this PR 1 section is the *pre-engine* solver stack
+    # (gas_reference), so the numbers stay comparable with earlier runs; the
+    # engine layer is measured separately in bench_engine_gas.  Pre-warm the
+    # graph's cached index so the legacy run does not pay for a kernel
+    # structure it never uses; the kernel run gets a fresh copy and pays its
+    # own index build end-to-end.  Best-of-N on both sides to shave
     # scheduler noise.
     GraphIndex.of(graph)
     legacy_s = math.inf
     kernel_s = math.inf
     for _ in range(repeats):
         with legacy_mode():
-            legacy_result = gas(graph, budget)
+            legacy_result = gas_reference(graph, budget)
         fresh = graph.copy()
-        kernel_result = gas(fresh, budget)
+        kernel_result = gas_reference(fresh, budget)
         if legacy_result.anchors != kernel_result.anchors:  # pragma: no cover
             raise AssertionError(
                 f"kernel GAS diverged from legacy GAS on {name}: "
@@ -242,6 +248,97 @@ def bench_gas(name: str, graph: Graph, budget: int, repeats: int = 5) -> Dict[st
     }
 
 
+# ---------------------------------------------------------------------------
+# PR 2: the SolverEngine layer (incremental re-peeling) vs the PR 1 stack
+# ---------------------------------------------------------------------------
+def bench_engine_pair(
+    label: str,
+    name: str,
+    graph: Graph,
+    budget: int,
+    reference_fn: Callable,
+    engine_fn: Callable,
+    repeats: int,
+) -> Dict[str, object]:
+    """Pre-engine solver vs its engine counterpart, asserting identical anchors."""
+    GraphIndex.of(graph)
+    reference_s = math.inf
+    engine_s = math.inf
+    for _ in range(repeats):
+        reference_result = reference_fn(graph, budget)
+        engine_result = engine_fn(graph, budget)
+        if reference_result.anchors != engine_result.anchors:  # pragma: no cover
+            raise AssertionError(
+                f"engine {label} diverged from pre-engine {label} on {name}: "
+                f"{reference_result.anchors} != {engine_result.anchors}"
+            )
+        reference_s = min(reference_s, reference_result.elapsed_seconds)
+        engine_s = min(engine_s, engine_result.elapsed_seconds)
+    return {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "budget": budget,
+        "reference_s": round(reference_s, 4),
+        "engine_s": round(engine_s, 4),
+        "speedup": round(reference_s / engine_s, 2),
+    }
+
+
+def run_engine_section(
+    gas_graphs: Dict[str, Graph],
+    base_graphs: Dict[str, Graph],
+    base_budget: int,
+    gas_budget: int,
+) -> Dict[str, object]:
+    section: Dict[str, object] = {
+        "description": "SolverEngine layer (incremental re-peeling) vs the "
+        "pre-engine PR 1 solver stack (base_greedy_reference / gas_reference)",
+        "targets": {"base": 5.0, "gas": 0.9},
+        "base": {},
+        "gas": {},
+    }
+    runs = (
+        # (section key, banner, graphs, budget, reference, engine, repeats)
+        # BASE's reference bar runs a full decomposition per candidate, so
+        # one repetition is already expensive; GAS is cheap enough for
+        # best-of-5.
+        ("base", "BASE (incremental per-candidate re-peel)", base_graphs,
+         base_budget, base_greedy_reference, base_greedy, 1),
+        ("gas", "GAS (incremental commits)", gas_graphs,
+         gas_budget, gas_reference, gas, 5),
+    )
+    for key, banner, graphs, budget, reference_fn, engine_fn, repeats in runs:
+        print(f"== engine: {banner} ==")
+        for name, graph in graphs.items():
+            entry = bench_engine_pair(
+                key.upper(), name, graph, budget, reference_fn, engine_fn, repeats
+            )
+            section[key][name] = entry
+            print(
+                f"{name:>14}  {entry['speedup']:>7.2f}x  "
+                f"({entry['reference_s']}s -> {entry['engine_s']}s, b={budget})"
+            )
+    base_min = min(entry["speedup"] for entry in section["base"].values())
+    gas_min = min(entry["speedup"] for entry in section["gas"].values())
+    section["summary"] = {
+        "base_speedup_min": base_min,
+        "gas_speedup_min": gas_min,
+        "meets_base_target": base_min >= 5.0,
+        "gas_not_slower": gas_min >= 0.9,
+    }
+    return section
+
+
+def merge_engine_summary(report: Dict[str, object]) -> None:
+    """Propagate the engine section's summary into the top-level summary."""
+    engine_summary = report["engine"]["summary"]
+    summary = report.setdefault("summary", {})
+    summary["engine_base_speedup_min"] = engine_summary["base_speedup_min"]
+    summary["engine_gas_speedup_min"] = engine_summary["gas_speedup_min"]
+    summary["meets_engine_base_target"] = engine_summary["meets_base_target"]
+    summary["engine_gas_not_slower"] = engine_summary["gas_not_slower"]
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -250,15 +347,73 @@ def main(argv: List[str] | None = None) -> int:
         help="also benchmark the pokec stand-in and the 0.7 sampling rate "
         "(slower; the default sticks to the quick Fig. 9 configuration)",
     )
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument(
-        "--gas-budget", type=int, default=2, help="anchor budget for the gas() benchmark"
+        "--smoke",
+        action="store_true",
+        help="shrink every section to the smallest stand-in (CI smoke run)",
+    )
+    parser.add_argument(
+        "--engine-only",
+        action="store_true",
+        help="recompute only the 'engine' section and merge it into the "
+        "existing output file (PR 1 sections are left untouched)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT}; --smoke defaults "
+        "to a scratch file so it never clobbers the curated trajectory)",
+    )
+    parser.add_argument(
+        "--gas-budget", type=int, default=2, help="anchor budget for the gas() benchmarks"
+    )
+    parser.add_argument(
+        "--base-budget", type=int, default=1, help="anchor budget for the BASE benchmarks"
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        # A --smoke run measures the wrong stand-ins for the trajectory file;
+        # keep it away from BENCH_kernel.json unless explicitly requested.
+        args.output = (
+            Path(tempfile.gettempdir()) / "bench_kernel_smoke.json"
+            if args.smoke
+            else DEFAULT_OUTPUT
+        )
 
-    decomposition_datasets = ["patents", "pokec"] if args.full else ["patents"]
-    follower_datasets = ["college", "facebook"]
-    gas_rates = [0.5, 0.7, 1.0] if args.full else [0.5, 1.0]
+    if args.smoke:
+        decomposition_datasets = ["college"]
+        follower_datasets = ["college"]
+        gas_rates: List[float] = []
+        engine_gas_graphs = {"college": load_dataset("college")}
+        engine_base_graphs = {"college": load_dataset("college")}
+    else:
+        decomposition_datasets = ["patents", "pokec"] if args.full else ["patents"]
+        follower_datasets = ["college", "facebook"]
+        gas_rates = [0.5, 0.7, 1.0] if args.full else [0.5, 1.0]
+        patents = load_dataset("patents")
+        engine_gas_graphs = {
+            f"patents@{rate}": sample_edges(patents, rate, seed=SAMPLING_SEED)
+            for rate in gas_rates
+        }
+        # BASE's pre-engine bar runs one full decomposition per candidate
+        # edge, so even one round on the full patents stand-in is expensive;
+        # the Fig. 9 samples keep the "before" measurement honest but finite.
+        engine_base_graphs = dict(engine_gas_graphs)
+
+    if args.engine_only:
+        if args.output.exists():
+            report = json.loads(args.output.read_text(encoding="utf-8"))
+        else:
+            report = {}
+        report["engine"] = run_engine_section(
+            engine_gas_graphs, engine_base_graphs, args.base_budget, args.gas_budget
+        )
+        merge_engine_summary(report)
+        args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {args.output} (engine section only)")
+        print(json.dumps(report["engine"]["summary"], indent=2))
+        return 0
 
     report: Dict[str, object] = {
         "description": "before/after timings of the integer-indexed truss kernel "
@@ -286,15 +441,25 @@ def main(argv: List[str] | None = None) -> int:
         report["followers"][name] = entry
         print(f"{name:>10}  {entry['speedup']:>6.2f}x  ({entry['candidates']} candidates)")
 
-    print("== gas() end-to-end (Fig. 9 samples) ==")
-    for rate in gas_rates:
-        graph = sample_edges(load_dataset("patents"), rate, seed=SAMPLING_SEED)
-        entry = bench_gas(f"patents@{rate}", graph, args.gas_budget)
-        report["gas"][f"patents@{rate}"] = entry
-        print(
-            f"patents@{rate:<4}  {entry['speedup']:>6.2f}x  "
-            f"({entry['reference_s']}s -> {entry['kernel_s']}s)"
-        )
+    print("== gas() end-to-end (Fig. 9 samples, pre-engine stack) ==")
+    if args.smoke:
+        graph = load_dataset("college")
+        entry = bench_gas("college", graph, args.gas_budget, repeats=2)
+        report["gas"]["college"] = entry
+        print(f"college      {entry['speedup']:>6.2f}x")
+    else:
+        for rate in gas_rates:
+            graph = sample_edges(load_dataset("patents"), rate, seed=SAMPLING_SEED)
+            entry = bench_gas(f"patents@{rate}", graph, args.gas_budget)
+            report["gas"][f"patents@{rate}"] = entry
+            print(
+                f"patents@{rate:<4}  {entry['speedup']:>6.2f}x  "
+                f"({entry['reference_s']}s -> {entry['kernel_s']}s)"
+            )
+
+    report["engine"] = run_engine_section(
+        engine_gas_graphs, engine_base_graphs, args.base_budget, args.gas_budget
+    )
 
     decomposition_speedup = min(
         entry["anchored_sequence"]["speedup"] for entry in report["decomposition"].values()
@@ -312,6 +477,7 @@ def main(argv: List[str] | None = None) -> int:
         "meets_decomposition_target": decomposition_speedup >= 5.0,
         "meets_gas_target": gas_speedup >= 3.0,
     }
+    merge_engine_summary(report)
 
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"\nwrote {args.output}")

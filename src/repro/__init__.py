@@ -21,7 +21,9 @@ Quickstart
 from repro.core import (
     AnchorResult,
     FollowerMethod,
+    SolverEngine,
     akt_greedy,
+    available_solvers,
     base_greedy,
     base_plus_greedy,
     compute_followers,
@@ -29,7 +31,9 @@ from repro.core import (
     evaluate_anchor_set,
     exact_atr,
     gas,
+    get_solver,
     random_baseline,
+    register_solver,
     support_baseline,
     upward_route_baseline,
 )
@@ -58,6 +62,10 @@ __all__ = [
     "edge_deletion_baseline",
     "evaluate_anchor_set",
     "AnchorResult",
+    "SolverEngine",
+    "register_solver",
+    "get_solver",
+    "available_solvers",
     "read_edge_list",
     "write_edge_list",
     "__version__",

@@ -4,37 +4,75 @@ Sub-commands
 ------------
 ``datasets``
     List the registered stand-in datasets with their Table III statistics.
+``solvers``
+    List the registered anchor-selection solvers.
 ``solve``
-    Run an anchor-selection algorithm on a dataset or an edge-list file.
+    Run an anchor-selection algorithm on a dataset or an edge-list file
+    (``--format json`` for machine-readable output).
 ``experiment``
     Run one experiment of the harness (table3, fig5, ..., ablation).
 ``report``
     Run every experiment and print a combined report (the content of
     EXPERIMENTS.md is produced this way).
+
+The solver table is a live view over the registry of
+:mod:`repro.core.engine` — registering a solver anywhere makes it available
+to ``solve --algorithm`` without touching this module.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.core.gas import gas
-from repro.core.greedy import base_greedy, base_plus_greedy
-from repro.core.heuristics import random_baseline, support_baseline, upward_route_baseline
+from repro.core.engine import solver_table
+from repro.core.result import AnchorResult
 from repro.datasets import DATASETS, dataset_statistics, load_dataset
 from repro.experiments.config import PROFILES, get_profile
 from repro.experiments.runner import available_experiments, run_all, run_experiment
 from repro.graph.io import read_edge_list
+from repro.utils.errors import ReproError
 
-_SOLVERS = {
-    "gas": gas,
-    "base": base_greedy,
-    "base+": base_plus_greedy,
-    "rand": random_baseline,
-    "sup": support_baseline,
-    "tur": upward_route_baseline,
-}
+#: Live name -> solver view over the engine's registry (was a hand-maintained
+#: dict of imported functions before the SolverEngine layer existed).
+_SOLVERS = solver_table()
+
+
+def _json_safe(value: object) -> object:
+    """Recursively convert a result payload into JSON-serialisable types."""
+    if isinstance(value, dict):
+        return {str(key): _json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return [_json_safe(entry) for entry in items]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def result_to_json(result: AnchorResult) -> dict:
+    """Machine-readable rendering of an :class:`AnchorResult`."""
+    return {
+        "algorithm": result.algorithm,
+        "budget": result.budget,
+        "anchors": [list(edge) for edge in result.anchors],
+        "gain": result.gain,
+        "per_round_gain": list(result.per_round_gain),
+        "followers": sorted([list(edge) for edge in result.followers]),
+        "follower_count": len(result.followers),
+        "gain_by_trussness": {str(k): v for k, v in result.gain_by_trussness.items()},
+        "timings": {
+            "elapsed_seconds": result.elapsed_seconds,
+            "cumulative_seconds_per_round": list(
+                result.extra.get("cumulative_seconds_per_round", [])
+            ),
+        },
+        "extra": _json_safe(result.extra),
+    }
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,12 +83,19 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list the registered stand-in datasets")
+    sub.add_parser("solvers", help="list the registered solvers")
 
     solve = sub.add_parser("solve", help="run an anchor-selection algorithm")
     solve.add_argument("--dataset", choices=sorted(DATASETS), help="stand-in dataset name")
     solve.add_argument("--edge-list", help="path to a SNAP-style edge list instead of a dataset")
     solve.add_argument("--algorithm", choices=sorted(_SOLVERS), default="gas")
     solve.add_argument("--budget", "-b", type=int, default=5)
+    solve.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json emits anchors, gain and timings machine-readably)",
+    )
 
     experiment = sub.add_parser("experiment", help="run one experiment of the harness")
     experiment.add_argument("name", choices=available_experiments())
@@ -71,16 +116,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(dataset_statistics(name))
         return 0
 
+    if args.command == "solvers":
+        for name in sorted(_SOLVERS):
+            print(f"{name:>6}  {_SOLVERS[name].description}")
+        return 0
+
     if args.command == "solve":
         if bool(args.dataset) == bool(args.edge_list):
             print("error: provide exactly one of --dataset or --edge-list", file=sys.stderr)
             return 2
         graph = load_dataset(args.dataset) if args.dataset else read_edge_list(args.edge_list)
         solver = _SOLVERS[args.algorithm]
-        result = solver(graph, args.budget)
-        print(result.summary())
-        print("anchors:", result.anchors)
-        print("gain by original trussness:", result.gain_by_trussness)
+        try:
+            result = solver(graph, args.budget)
+        except ReproError as exc:
+            # e.g. a budget above the edge count, or exact's combinatorial
+            # guard on an instance too large to enumerate.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(json.dumps(result_to_json(result), indent=2, sort_keys=True))
+        else:
+            print(result.summary())
+            print("anchors:", result.anchors)
+            print("gain by original trussness:", result.gain_by_trussness)
         return 0
 
     if args.command == "experiment":

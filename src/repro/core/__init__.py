@@ -13,12 +13,23 @@ Public entry points
 * :mod:`repro.core.heuristics` — the Rand / Sup / Tur random baselines.
 * :mod:`repro.core.akt` — the vertex-anchoring AKT baseline.
 * :mod:`repro.core.edge_deletion` — the edge-deletion baseline of the case study.
+* :class:`repro.core.engine.SolverEngine` — the shared session layer every
+  solver runs on (solver registry, incremental re-peeling).
 """
 
 from repro.core.akt import akt_greedy, anchored_k_truss
 from repro.core.component_tree import TreeNode, TrussComponentTree
 from repro.core.edge_deletion import edge_deletion_baseline
-from repro.core.exact import exact_atr
+from repro.core.engine import (
+    SolveRequest,
+    SolverEngine,
+    SolverSpec,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solver_table,
+)
+from repro.core.exact import exact_atr, exact_atr_reference
 from repro.core.followers import (
     FollowerMethod,
     compute_followers,
@@ -31,8 +42,13 @@ from repro.core.followers_reference import (
     followers_candidate_peel_reference,
     followers_support_check_reference,
 )
-from repro.core.gas import gas
-from repro.core.greedy import base_greedy, base_plus_greedy
+from repro.core.gas import gas, gas_reference
+from repro.core.greedy import (
+    base_greedy,
+    base_greedy_reference,
+    base_plus_greedy,
+    base_plus_greedy_reference,
+)
 from repro.core.heuristics import random_baseline, support_baseline, upward_route_baseline
 from repro.core.reduction import MaxCoverageInstance, build_atr_instance_from_coverage
 from repro.core.result import AnchorResult, evaluate_anchor_set
@@ -49,10 +65,21 @@ __all__ = [
     "trussness_gain_of_anchor",
     "TrussComponentTree",
     "TreeNode",
+    "SolveRequest",
+    "SolverEngine",
+    "SolverSpec",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+    "solver_table",
     "gas",
+    "gas_reference",
     "base_greedy",
+    "base_greedy_reference",
     "base_plus_greedy",
+    "base_plus_greedy_reference",
     "exact_atr",
+    "exact_atr_reference",
     "random_baseline",
     "support_baseline",
     "upward_route_baseline",

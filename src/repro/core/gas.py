@@ -15,14 +15,22 @@ sets from scratch in every round:
 Because the reuse rule is conservative, GAS selects exactly the same anchors
 as BASE+ and BASE (under the shared smallest-edge-id tie-breaking); the
 test-suite verifies this equivalence.
+
+The public :func:`gas` is a thin wrapper over the solver registry: the round
+loop runs against a :class:`~repro.core.engine.SolverEngine`, which owns the
+state (advanced by incremental re-peeling after each committed anchor), the
+component tree and the follower caches.  The pre-engine implementation is
+preserved verbatim as :func:`gas_reference` for the equivalence tests and
+the before/after benchmarks.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.core.component_tree import TrussComponentTree
+from repro.core.engine import SolveRequest, SolverEngine, register_solver
 from repro.core.followers import FollowerMethod, compute_followers
 from repro.core.result import AnchorResult, evaluate_anchor_set
 from repro.core.reuse import ReuseDecision, ReuseStats, classify_reuse, compute_reuse_decision
@@ -37,30 +45,7 @@ CacheEntry = Dict[int, FrozenSet[Edge]]
 _EMPTY_SLA: FrozenSet[int] = frozenset()
 
 
-def gas(
-    graph: Graph,
-    budget: int,
-    initial_anchors: Iterable[Edge] = (),
-    method: FollowerMethod | str = FollowerMethod.SUPPORT_CHECK,
-    collect_reuse_stats: bool = True,
-) -> AnchorResult:
-    """Select ``budget`` anchor edges with the GAS algorithm.
-
-    Parameters
-    ----------
-    graph:
-        Input graph (not modified).
-    budget:
-        Number of anchor edges to select (the paper's ``b``).
-    initial_anchors:
-        Edges considered already anchored before the first round.
-    method:
-        Follower-computation strategy used for the per-node recomputations
-        (``support-check`` by default; ``peel`` for the ablation study).
-    collect_reuse_stats:
-        When true, the per-round FR/PR/NR reuse statistics (Fig. 10) are
-        recorded in ``result.extra["reuse_stats"]``.
-    """
+def _validate(graph: Graph, budget: int, method: FollowerMethod | str) -> FollowerMethod:
     if budget < 0:
         raise InvalidParameterError("budget must be non-negative")
     if budget > graph.num_edges:
@@ -72,24 +57,31 @@ def gas(
         raise InvalidParameterError(
             "GAS requires a local follower method ('support-check' or 'peel')"
         )
+    return method
+
+
+@register_solver(
+    "gas",
+    description="greedy with per-tree-node follower reuse (Algorithm 6)",
+    params=("method", "collect_reuse_stats"),
+)
+def _solve_gas(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+    graph = engine.graph
+    budget = request.budget
+    method = _validate(graph, budget, request.param("method", FollowerMethod.SUPPORT_CHECK))
+    collect_reuse_stats = bool(request.param("collect_reuse_stats", True))
 
     start = time.perf_counter()
-    # One frozen kernel snapshot is shared by every decomposition, follower
-    # recomputation and tree rebuild below (anchors are overlay sets, so the
-    # graph — and therefore the index — never changes during the run).
-    GraphIndex.of(graph)
-    anchors: List[Edge] = [graph.require_edge(e) for e in initial_anchors]
-    original_state = TrussState.compute(graph)
-    state = (
-        TrussState.compute(graph, anchors) if anchors else original_state
-    )
-    tree = TrussComponentTree.build(state)
+    original_state = engine.original_state
+    state = engine.state
+    tree = engine.tree()
 
     # Follower cache F[e][node_id], keyed by dense edge id (stable for the
     # lifetime of the run — the graph is never mutated), plus the cached
     # total follower count per entry (recomputed only when the entry moves).
-    cache: Dict[int, CacheEntry] = {}
-    totals: Dict[int, int] = {}
+    # Both live on the engine so a session spans rounds (and solves).
+    cache = engine.follower_cache
+    totals = engine.follower_totals
     decision: Optional[ReuseDecision] = None
     per_round_gain: List[int] = []
     reuse_rounds: List[Dict[str, float]] = []
@@ -185,6 +177,197 @@ def gas(
         for bucket in cache[best_eid].values():
             followers_of_best |= bucket
 
+        engine.commit_anchor(best_edge)
+        cache.pop(best_eid, None)
+        totals.pop(best_eid, None)
+        per_round_gain.append(best_count)
+        recompute_counts.append(recomputed_entries)
+        if collect_reuse_stats and decision is not None:
+            reuse_rounds.append(stats.fractions())
+
+        if _round + 1 < budget:
+            # The incremental state advance, tree rebuild and reuse analysis
+            # only feed the next round's candidate scan; after the final
+            # anchor there is no next round (the engine's state is lazy, so
+            # nothing is computed for it).
+            old_tree = tree
+            state = engine.state
+            tree = engine.tree()
+            decision = compute_reuse_decision(old_tree, tree, best_edge, followers_of_best)
+        cumulative_seconds.append(time.perf_counter() - start)
+
+    elapsed = time.perf_counter() - start
+    # Evaluate against the engine's own baseline: no redundant recompute, and
+    # with an anchored baseline_state the reported gain measures the same
+    # problem the rounds actually scored.
+    result = evaluate_anchor_set(
+        graph,
+        engine.anchors,
+        algorithm="GAS",
+        elapsed_seconds=elapsed,
+        baseline_state=original_state,
+    )
+    result.per_round_gain = per_round_gain
+    result.extra["follower_method"] = method.value
+    result.extra["recomputed_entries_per_round"] = recompute_counts
+    result.extra["cumulative_seconds_per_round"] = cumulative_seconds
+    if collect_reuse_stats:
+        result.extra["reuse_stats"] = reuse_rounds
+    result.extra["engine"] = dict(engine.stats)
+    return result
+
+
+def gas(
+    graph: Graph,
+    budget: int,
+    initial_anchors: Iterable[Edge] = (),
+    method: FollowerMethod | str = FollowerMethod.SUPPORT_CHECK,
+    collect_reuse_stats: bool = True,
+) -> AnchorResult:
+    """Select ``budget`` anchor edges with the GAS algorithm.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (not modified).
+    budget:
+        Number of anchor edges to select (the paper's ``b``).
+    initial_anchors:
+        Edges considered already anchored before the first round.
+    method:
+        Follower-computation strategy used for the per-node recomputations
+        (``support-check`` by default; ``peel`` for the ablation study).
+    collect_reuse_stats:
+        When true, the per-round FR/PR/NR reuse statistics (Fig. 10) are
+        recorded in ``result.extra["reuse_stats"]``.
+    """
+    engine = SolverEngine(graph)
+    return engine.solve(
+        "gas",
+        budget,
+        initial_anchors=initial_anchors,
+        method=method,
+        collect_reuse_stats=collect_reuse_stats,
+    )
+
+
+def gas_reference(
+    graph: Graph,
+    budget: int,
+    initial_anchors: Iterable[Edge] = (),
+    method: FollowerMethod | str = FollowerMethod.SUPPORT_CHECK,
+    collect_reuse_stats: bool = True,
+) -> AnchorResult:
+    """Pre-engine GAS: full re-decomposition and tree rebuild per round.
+
+    Kept verbatim as the ground truth for the engine equivalence tests and
+    as the "PR 1" bar of the engine benchmarks (and, under the benchmark's
+    ``legacy_mode``, as the carrier of the seed tuple-domain stack).
+    """
+    method = _validate(graph, budget, method)
+
+    start = time.perf_counter()
+    # One frozen kernel snapshot is shared by every decomposition, follower
+    # recomputation and tree rebuild below (anchors are overlay sets, so the
+    # graph — and therefore the index — never changes during the run).
+    GraphIndex.of(graph)
+    anchors: List[Edge] = [graph.require_edge(e) for e in initial_anchors]
+    original_state = TrussState.compute(graph)
+    state = (
+        TrussState.compute(graph, anchors) if anchors else original_state
+    )
+    tree = TrussComponentTree.build(state)
+
+    cache: Dict[int, CacheEntry] = {}
+    totals: Dict[int, int] = {}
+    decision: Optional[ReuseDecision] = None
+    per_round_gain: List[int] = []
+    reuse_rounds: List[Dict[str, float]] = []
+    recompute_counts: List[int] = []
+    cumulative_seconds: List[float] = []
+
+    for _round in range(budget):
+        stats = ReuseStats()
+        recomputed_entries = 0
+        best_eid = -1
+        best_count = -1
+        index, current_trussness, _ly, anchor_mask = state.kernel_views()
+        original_trussness = original_state.kernel_views()[1]
+        edge_of = index.edge_of
+        sla_sets = tree.sla_sets  # None only for reference-built trees
+        invalid_eids: Optional[Set[int]] = None
+        if decision is not None:
+            eid_of = index.eid_of
+            invalid_eids = {eid_of[e] for e in decision.invalid_edges}
+
+        for eid in range(index.num_edges):
+            if anchor_mask[eid]:
+                continue
+            edge = edge_of[eid]
+            if sla_sets is not None:
+                sla_ids = sla_sets[eid] or _EMPTY_SLA  # precomputed, read-only
+            else:
+                sla_ids = tree.sla(edge)
+            entry = cache.get(eid)
+            dirty = False
+            if invalid_eids is None or entry is None or eid in invalid_eids:
+                entry = {}
+                cache[eid] = entry
+                needed = set(sla_ids)
+                dirty = True
+                if decision is not None:
+                    stats.non_reusable += 1
+            else:
+                for node_id in list(entry):
+                    if node_id not in sla_ids:
+                        del entry[node_id]
+                        dirty = True
+                invalid_node_ids = decision.invalid_node_ids
+                needed = {
+                    node_id
+                    for node_id in sla_ids
+                    if node_id not in entry or node_id in invalid_node_ids
+                }
+                category = classify_reuse(sla_ids, decision, edge)
+                if category == "FR" and not needed:
+                    stats.fully_reusable += 1
+                elif needed and len(needed) != len(sla_ids):
+                    stats.partially_reusable += 1
+                elif needed:
+                    stats.non_reusable += 1
+                else:
+                    stats.fully_reusable += 1
+
+            if needed:
+                recomputed_entries += 1
+                candidate_filter_ids: Set[int] = set()
+                for node_id in needed:
+                    candidate_filter_ids |= tree.nodes[node_id].edge_ids
+                followers = compute_followers(
+                    state, edge, method=method, candidate_filter_ids=candidate_filter_ids
+                )
+                buckets: Dict[int, Set[Edge]] = {node_id: set() for node_id in needed}
+                for follower in followers:
+                    buckets[tree.node_of_edge[follower]].add(follower)
+                for node_id, bucket in buckets.items():
+                    entry[node_id] = frozenset(bucket)
+                dirty = True
+
+            if dirty:
+                totals[eid] = sum(len(bucket) for bucket in entry.values())
+            accumulated = current_trussness[eid] - original_trussness[eid]
+            total = totals[eid] - accumulated
+            if total > best_count:
+                best_eid, best_count = eid, total
+
+        if best_eid < 0:
+            break
+        best_edge = edge_of[best_eid]
+
+        followers_of_best: Set[Edge] = set()
+        for bucket in cache[best_eid].values():
+            followers_of_best |= bucket
+
         anchors.append(best_edge)
         cache.pop(best_eid, None)
         totals.pop(best_eid, None)
@@ -194,9 +377,6 @@ def gas(
             reuse_rounds.append(stats.fractions())
 
         if _round + 1 < budget:
-            # The re-decomposition, tree rebuild and reuse analysis only feed
-            # the next round's candidate scan; after the final anchor there is
-            # no next round.
             old_tree = tree
             state = TrussState.compute(graph, anchors)
             tree = TrussComponentTree.build(state)

@@ -5,9 +5,12 @@ which evaluates the trussness gain of every candidate edge against the
 current anchored graph and anchors the best one.  They differ only in how
 the per-edge gain is computed:
 
-* ``BASE`` reruns the full truss decomposition for every candidate
-  (``O(b · m^{2.5})`` — the paper's Algorithm 2, only feasible on tiny
-  graphs).
+* ``BASE`` scores a candidate by the decomposition diff of anchoring it
+  (the paper's Algorithm 2).  Through the :class:`~repro.core.engine.SolverEngine`
+  that diff comes from an *incremental re-peel* restricted to the
+  candidate's dirty region (with a full-peel fallback), which is what makes
+  BASE feasible beyond tiny graphs; the seed full-decomposition-per-candidate
+  loop is preserved as :func:`base_greedy_reference`.
 * ``BASE+`` computes followers with the upward-route + support-check
   machinery of Section III-B (Algorithm 3), avoiding whole-graph
   decompositions for the candidates, but still re-evaluates every candidate
@@ -16,13 +19,19 @@ the per-edge gain is computed:
 Ties between candidates with the same gain are broken by the smallest edge
 id, and the same rule is used by GAS so that the three solvers return
 identical anchor sets (a property the test-suite checks).
+
+Both public functions are thin wrappers over the solver registry
+(``engine.solve("base", ...)`` / ``engine.solve("base+", ...)``); the
+pre-engine implementations are kept verbatim as ``*_reference`` twins for
+the equivalence tests and the before/after benchmarks.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from repro.core.engine import SolveRequest, SolverEngine, register_solver
 from repro.core.followers import FollowerMethod, compute_followers
 from repro.core.result import AnchorResult, evaluate_anchor_set
 from repro.graph.graph import Edge, Graph
@@ -54,52 +63,125 @@ def _pick_best(
     return best_edge, max(best_score, 0)
 
 
+# ---------------------------------------------------------------------------
+# Engine-based solvers (registered)
+# ---------------------------------------------------------------------------
+@register_solver(
+    "base",
+    description="greedy with per-candidate incremental re-peel (Algorithm 2)",
+    params=(),
+)
+def _solve_base(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+    graph = engine.graph
+    _check_budget(graph, request.budget)
+    start = time.perf_counter()
+    per_round_gain: List[int] = []
+    cumulative_seconds: List[float] = []
+    index = engine.index
+    eid_of = index.eid_of
+    original_trussness = engine.original_state.kernel_views()[1]
+
+    for _ in range(request.budget):
+        state = engine.state
+        current_trussness = state.kernel_views()[1]
+        scored = []
+        for edge in state.non_anchor_edges():
+            # Score by the true marginal gain of Definition 4 (relative to
+            # the original graph): the candidate's follower count from the
+            # restricted re-peel, minus the gain the candidate itself
+            # accumulated as a follower of earlier anchors (forfeited once
+            # it becomes an anchor).  See the module docstring of gas.py.
+            eid = eid_of[edge]
+            accumulated = current_trussness[eid] - original_trussness[eid]
+            scored.append((edge, engine.evaluate_gain(edge) - accumulated))
+        best_edge, best_score = _pick_best(graph, scored)
+        if best_edge is None:
+            break
+        engine.commit_anchor(best_edge)
+        per_round_gain.append(best_score)
+        cumulative_seconds.append(time.perf_counter() - start)
+
+    elapsed = time.perf_counter() - start
+    # Evaluate against the engine's own baseline (no redundant recompute;
+    # consistent with the round scores when the baseline carries anchors).
+    result = evaluate_anchor_set(
+        graph,
+        engine.anchors,
+        algorithm="BASE",
+        elapsed_seconds=elapsed,
+        baseline_state=engine.original_state,
+    )
+    result.per_round_gain = per_round_gain
+    result.extra["cumulative_seconds_per_round"] = cumulative_seconds
+    result.extra["engine"] = dict(engine.stats)
+    return result
+
+
+@register_solver(
+    "base+",
+    description="greedy with Algorithm-3 follower search",
+    params=("method",),
+)
+def _solve_base_plus(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+    graph = engine.graph
+    _check_budget(graph, request.budget)
+    method = FollowerMethod(request.param("method", FollowerMethod.SUPPORT_CHECK))
+    start = time.perf_counter()
+    per_round_gain: List[int] = []
+    cumulative_seconds: List[float] = []
+    original_trussness = engine.original_state.decomposition.trussness
+
+    for _ in range(request.budget):
+        state = engine.state
+        current_trussness = state.decomposition.trussness
+        scored = []
+        for edge in state.non_anchor_edges():
+            followers = compute_followers(state, edge, method=method)
+            # Marginal gain of Definition 4: the follower count minus the gain
+            # the candidate itself accumulated as a follower of earlier
+            # anchors (that gain is forfeited once the edge becomes an anchor).
+            accumulated = current_trussness[edge] - original_trussness[edge]
+            scored.append((edge, len(followers) - accumulated))
+        best_edge, best_score = _pick_best(graph, scored)
+        if best_edge is None:
+            break
+        engine.commit_anchor(best_edge)
+        per_round_gain.append(best_score)
+        cumulative_seconds.append(time.perf_counter() - start)
+
+    elapsed = time.perf_counter() - start
+    # Evaluate against the engine's own baseline (no redundant recompute;
+    # consistent with the round scores when the baseline carries anchors).
+    result = evaluate_anchor_set(
+        graph,
+        engine.anchors,
+        algorithm="BASE+",
+        elapsed_seconds=elapsed,
+        baseline_state=engine.original_state,
+    )
+    result.per_round_gain = per_round_gain
+    result.extra["follower_method"] = method.value
+    result.extra["cumulative_seconds_per_round"] = cumulative_seconds
+    result.extra["engine"] = dict(engine.stats)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Public wrappers (unchanged signatures)
+# ---------------------------------------------------------------------------
 def base_greedy(
     graph: Graph,
     budget: int,
     initial_anchors: Iterable[Edge] = (),
 ) -> AnchorResult:
-    """The paper's BASE algorithm (Algorithm 2).
+    """The paper's BASE algorithm (Algorithm 2), run through the engine.
 
-    Every candidate is evaluated by a full anchored truss decomposition.
-    This is intentionally the slowest solver and exists as the correctness
-    reference and as the first bar of the efficiency experiments.
+    Selects exactly the same anchors as :func:`base_greedy_reference` (the
+    equivalence suite asserts this); the per-candidate evaluation is an
+    incremental re-peel instead of a whole-graph decomposition.
     """
-    _check_budget(graph, budget)
-    start = time.perf_counter()
-    # One frozen kernel snapshot serves every candidate decomposition of
-    # every round (anchors are overlays; the graph itself never changes).
-    GraphIndex.of(graph)
-    anchors: List[Edge] = [graph.require_edge(e) for e in initial_anchors]
-    per_round_gain: List[int] = []
-    cumulative_seconds: List[float] = []
-    original_state = TrussState.compute(graph)
-
-    for _ in range(budget):
-        state = TrussState.compute(graph, anchors)
-        current_objective = state.trussness_gain_from(original_state)
-        scored = []
-        for edge in state.non_anchor_edges():
-            anchored = state.with_anchor(edge)
-            # Score by the true marginal gain of Definition 4 (relative to the
-            # original graph): anchoring an edge that was itself promoted by
-            # earlier anchors forfeits its own contribution, and the score
-            # accounts for that.  See the module docstring of gas.py.
-            scored.append(
-                (edge, anchored.trussness_gain_from(original_state) - current_objective)
-            )
-        best_edge, best_score = _pick_best(graph, scored)
-        if best_edge is None:
-            break
-        anchors.append(best_edge)
-        per_round_gain.append(best_score)
-        cumulative_seconds.append(time.perf_counter() - start)
-
-    elapsed = time.perf_counter() - start
-    result = evaluate_anchor_set(graph, anchors, algorithm="BASE", elapsed_seconds=elapsed)
-    result.per_round_gain = per_round_gain
-    result.extra["cumulative_seconds_per_round"] = cumulative_seconds
-    return result
+    engine = SolverEngine(graph)
+    return engine.solve("base", budget, initial_anchors=initial_anchors)
 
 
 def base_plus_greedy(
@@ -117,6 +199,64 @@ def base_plus_greedy(
         (``support-check`` by default, matching the paper; ``peel`` and
         ``recompute`` are accepted for ablation studies).
     """
+    engine = SolverEngine(graph)
+    return engine.solve("base+", budget, initial_anchors=initial_anchors, method=method)
+
+
+# ---------------------------------------------------------------------------
+# Pre-engine reference implementations (seed behaviour, kept verbatim)
+# ---------------------------------------------------------------------------
+def base_greedy_reference(
+    graph: Graph,
+    budget: int,
+    initial_anchors: Iterable[Edge] = (),
+) -> AnchorResult:
+    """Pre-engine BASE: one full anchored truss decomposition per candidate.
+
+    Kept as the ground truth for the engine equivalence tests and as the
+    "before" bar of the engine benchmarks.  This is intentionally the
+    slowest solver.
+    """
+    _check_budget(graph, budget)
+    start = time.perf_counter()
+    # One frozen kernel snapshot serves every candidate decomposition of
+    # every round (anchors are overlays; the graph itself never changes).
+    GraphIndex.of(graph)
+    anchors: List[Edge] = [graph.require_edge(e) for e in initial_anchors]
+    per_round_gain: List[int] = []
+    cumulative_seconds: List[float] = []
+    original_state = TrussState.compute(graph)
+
+    for _ in range(budget):
+        state = TrussState.compute(graph, anchors)
+        current_objective = state.trussness_gain_from(original_state)
+        scored = []
+        for edge in state.non_anchor_edges():
+            anchored = state.with_anchor(edge)
+            scored.append(
+                (edge, anchored.trussness_gain_from(original_state) - current_objective)
+            )
+        best_edge, best_score = _pick_best(graph, scored)
+        if best_edge is None:
+            break
+        anchors.append(best_edge)
+        per_round_gain.append(best_score)
+        cumulative_seconds.append(time.perf_counter() - start)
+
+    elapsed = time.perf_counter() - start
+    result = evaluate_anchor_set(graph, anchors, algorithm="BASE", elapsed_seconds=elapsed)
+    result.per_round_gain = per_round_gain
+    result.extra["cumulative_seconds_per_round"] = cumulative_seconds
+    return result
+
+
+def base_plus_greedy_reference(
+    graph: Graph,
+    budget: int,
+    initial_anchors: Iterable[Edge] = (),
+    method: FollowerMethod | str = FollowerMethod.SUPPORT_CHECK,
+) -> AnchorResult:
+    """Pre-engine BASE+: full re-decomposition per round (no incremental peel)."""
     _check_budget(graph, budget)
     start = time.perf_counter()
     # Shared kernel snapshot: the follower search of every candidate in every
@@ -134,9 +274,6 @@ def base_plus_greedy(
         scored = []
         for edge in state.non_anchor_edges():
             followers = compute_followers(state, edge, method=method)
-            # Marginal gain of Definition 4: the follower count minus the gain
-            # the candidate itself accumulated as a follower of earlier
-            # anchors (that gain is forfeited once the edge becomes an anchor).
             accumulated = current_trussness[edge] - original_trussness[edge]
             scored.append((edge, len(followers) - accumulated))
         best_edge, best_score = _pick_best(graph, scored)

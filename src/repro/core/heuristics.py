@@ -9,14 +9,19 @@ The paper compares GAS against three randomised selectors:
 Each selector is repeated many times (2000 in the paper; configurable here)
 and the *maximum* achieved trussness gain over the repetitions is reported,
 exactly as in the paper's Exp-1 and Exp-3.
+
+All three are registered in the solver registry; the public functions are
+thin wrappers that share the engine's baseline state instead of recomputing
+the original decomposition per call.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence
 
+from repro.core.engine import SolveRequest, SolverEngine, register_solver
 from repro.core.result import AnchorResult, evaluate_anchor_set
 from repro.core.upward_route import upward_route_size
 from repro.graph.graph import Edge, Graph
@@ -26,6 +31,7 @@ from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import make_rng
 
 DEFAULT_TOP_FRACTION = 0.2
+DEFAULT_REPETITIONS = 200
 
 
 def _run_repetitions(
@@ -62,44 +68,123 @@ def _run_repetitions(
     return best_result
 
 
+def _top_fraction(request: SolveRequest) -> float:
+    top_fraction = float(request.param("top_fraction", DEFAULT_TOP_FRACTION))
+    if not 0.0 < top_fraction <= 1.0:
+        raise InvalidParameterError("top_fraction must be in (0, 1]")
+    return top_fraction
+
+
+@register_solver(
+    "rand",
+    description="best of N uniformly random anchor sets",
+    params=("repetitions", "seed"),
+)
+def _solve_rand(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+    request.reject_initial_anchors("rand")
+    graph = engine.graph
+    rng = make_rng(request.param("seed"))
+    pool = graph.edge_list()
+    return _run_repetitions(
+        graph,
+        pool,
+        request.budget,
+        int(request.param("repetitions", DEFAULT_REPETITIONS)),
+        rng,
+        "Rand",
+        engine.original_state,
+    )
+
+
+@register_solver(
+    "sup",
+    description="best of N random anchor sets from top-support edges",
+    params=("repetitions", "seed", "top_fraction"),
+)
+def _solve_sup(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+    request.reject_initial_anchors("sup")
+    graph = engine.graph
+    top_fraction = _top_fraction(request)
+    rng = make_rng(request.param("seed"))
+    supports = support_map(graph)
+    ranked = sorted(graph.edge_list(), key=lambda e: (-supports[e], graph.edge_id(e)))
+    cutoff = max(1, int(len(ranked) * top_fraction))
+    return _run_repetitions(
+        graph,
+        ranked[:cutoff],
+        request.budget,
+        int(request.param("repetitions", DEFAULT_REPETITIONS)),
+        rng,
+        "Sup",
+        engine.original_state,
+    )
+
+
+@register_solver(
+    "tur",
+    description="best of N random anchor sets from top upward-route edges",
+    params=("repetitions", "seed", "top_fraction", "route_sizes"),
+)
+def _solve_tur(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+    request.reject_initial_anchors("tur")
+    graph = engine.graph
+    top_fraction = _top_fraction(request)
+    rng = make_rng(request.param("seed"))
+    baseline_state = engine.original_state
+    route_sizes = request.param("route_sizes")
+    if route_sizes is None:
+        route_sizes = {
+            edge: upward_route_size(baseline_state, edge) for edge in graph.edges()
+        }
+    ranked = sorted(
+        graph.edge_list(), key=lambda e: (-route_sizes.get(e, 0), graph.edge_id(e))
+    )
+    cutoff = max(1, int(len(ranked) * top_fraction))
+    return _run_repetitions(
+        graph,
+        ranked[:cutoff],
+        request.budget,
+        int(request.param("repetitions", DEFAULT_REPETITIONS)),
+        rng,
+        "Tur",
+        baseline_state,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public wrappers (unchanged signatures)
+# ---------------------------------------------------------------------------
 def random_baseline(
     graph: Graph,
     budget: int,
-    repetitions: int = 200,
+    repetitions: int = DEFAULT_REPETITIONS,
     seed: int | random.Random | None = None,
     baseline_state: Optional[TrussState] = None,
 ) -> AnchorResult:
     """``Rand``: anchors drawn uniformly from all edges."""
-    rng = make_rng(seed)
-    baseline_state = baseline_state or TrussState.compute(graph)
-    pool = graph.edge_list()
-    return _run_repetitions(graph, pool, budget, repetitions, rng, "Rand", baseline_state)
+    engine = SolverEngine(graph, baseline_state=baseline_state)
+    return engine.solve("rand", budget, repetitions=repetitions, seed=seed)
 
 
 def support_baseline(
     graph: Graph,
     budget: int,
-    repetitions: int = 200,
+    repetitions: int = DEFAULT_REPETITIONS,
     top_fraction: float = DEFAULT_TOP_FRACTION,
     seed: int | random.Random | None = None,
     baseline_state: Optional[TrussState] = None,
 ) -> AnchorResult:
     """``Sup``: anchors drawn from the top ``top_fraction`` edges by support."""
-    if not 0.0 < top_fraction <= 1.0:
-        raise InvalidParameterError("top_fraction must be in (0, 1]")
-    rng = make_rng(seed)
-    baseline_state = baseline_state or TrussState.compute(graph)
-    supports = support_map(graph)
-    ranked = sorted(graph.edge_list(), key=lambda e: (-supports[e], graph.edge_id(e)))
-    cutoff = max(1, int(len(ranked) * top_fraction))
-    pool = ranked[:cutoff]
-    return _run_repetitions(graph, pool, budget, repetitions, rng, "Sup", baseline_state)
+    engine = SolverEngine(graph, baseline_state=baseline_state)
+    return engine.solve(
+        "sup", budget, repetitions=repetitions, top_fraction=top_fraction, seed=seed
+    )
 
 
 def upward_route_baseline(
     graph: Graph,
     budget: int,
-    repetitions: int = 200,
+    repetitions: int = DEFAULT_REPETITIONS,
     top_fraction: float = DEFAULT_TOP_FRACTION,
     seed: int | random.Random | None = None,
     baseline_state: Optional[TrussState] = None,
@@ -110,17 +195,12 @@ def upward_route_baseline(
     ``route_sizes`` may be supplied to reuse sizes already computed for
     Table IV; otherwise they are computed here.
     """
-    if not 0.0 < top_fraction <= 1.0:
-        raise InvalidParameterError("top_fraction must be in (0, 1]")
-    rng = make_rng(seed)
-    baseline_state = baseline_state or TrussState.compute(graph)
-    if route_sizes is None:
-        route_sizes = {
-            edge: upward_route_size(baseline_state, edge) for edge in graph.edges()
-        }
-    ranked = sorted(
-        graph.edge_list(), key=lambda e: (-route_sizes.get(e, 0), graph.edge_id(e))
+    engine = SolverEngine(graph, baseline_state=baseline_state)
+    return engine.solve(
+        "tur",
+        budget,
+        repetitions=repetitions,
+        top_fraction=top_fraction,
+        seed=seed,
+        route_sizes=route_sizes,
     )
-    cutoff = max(1, int(len(ranked) * top_fraction))
-    pool = ranked[:cutoff]
-    return _run_repetitions(graph, pool, budget, repetitions, rng, "Tur", baseline_state)

@@ -64,6 +64,17 @@ class ExperimentProfile:
     reuse_budget: int
     #: Random seed threaded through the stochastic parts of the harness.
     seed: int = 42
+    #: Solver registry names (see :mod:`repro.core.engine`) used by the
+    #: harness.  Experiments resolve these through ``get_solver``, so adding
+    #: a solver to a figure is a config change, not a code edit.
+    #: Primary solver whose numbers headline the tables/figures.
+    primary_solver: str = "gas"
+    #: Random baselines of the overview/effectiveness experiments.
+    baseline_solvers: Tuple[str, ...] = ("rand", "sup", "tur")
+    #: Solvers timed against each other in the efficiency sweep (Fig. 8).
+    efficiency_solvers: Tuple[str, ...] = ("gas", "base+")
+    #: Exhaustive solver of the quality experiment (Fig. 5).
+    exact_solver: str = "exact"
 
 
 _ALL = (

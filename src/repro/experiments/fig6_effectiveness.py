@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.gas import gas
-from repro.core.heuristics import random_baseline, support_baseline, upward_route_baseline
+from repro.core.engine import get_solver
 from repro.core.result import evaluate_anchor_set
 from repro.datasets import load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
@@ -25,6 +24,11 @@ from repro.truss.state import TrussState
 def run_fig6(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     profile = profile or get_profile()
     budgets = list(profile.budget_sweep)
+    gas = get_solver(profile.primary_solver)
+    # Series are keyed by solver name, so the baseline list can be reordered
+    # or extended from the profile without relabelling risk.
+    baseline_names = list(profile.baseline_solvers)
+    gas_label = profile.primary_solver.upper()
     datasets: Dict[str, Dict[str, List[int]]] = {}
 
     for name in profile.sweep_datasets:
@@ -32,40 +36,26 @@ def run_fig6(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
         baseline_state = TrussState.compute(graph)
         gas_result = gas(graph, max(budgets))
 
-        series: Dict[str, List[int]] = {"GAS": [], "Rand": [], "Sup": [], "Tur": []}
+        series: Dict[str, List[int]] = {
+            gas_label: [],
+            **{solver_name.capitalize(): [] for solver_name in baseline_names},
+        }
         for budget in budgets:
             prefix = gas_result.anchors[:budget]
             prefix_gain = evaluate_anchor_set(
-                graph, prefix, algorithm="GAS", baseline_state=baseline_state
+                graph, prefix, algorithm=gas_label, baseline_state=baseline_state
             ).gain
-            series["GAS"].append(prefix_gain)
-            series["Rand"].append(
-                random_baseline(
-                    graph,
-                    budget,
-                    repetitions=profile.random_repetitions,
-                    seed=profile.seed + budget,
-                    baseline_state=baseline_state,
-                ).gain
-            )
-            series["Sup"].append(
-                support_baseline(
-                    graph,
-                    budget,
-                    repetitions=profile.random_repetitions,
-                    seed=profile.seed + budget + 1,
-                    baseline_state=baseline_state,
-                ).gain
-            )
-            series["Tur"].append(
-                upward_route_baseline(
-                    graph,
-                    budget,
-                    repetitions=profile.random_repetitions,
-                    seed=profile.seed + budget + 2,
-                    baseline_state=baseline_state,
-                ).gain
-            )
+            series[gas_label].append(prefix_gain)
+            for offset, solver_name in enumerate(baseline_names):
+                series[solver_name.capitalize()].append(
+                    get_solver(solver_name)(
+                        graph,
+                        budget,
+                        repetitions=profile.random_repetitions,
+                        seed=profile.seed + budget + offset,
+                        baseline_state=baseline_state,
+                    ).gain
+                )
         datasets[name] = series
     return {"budgets": budgets, "datasets": datasets}
 

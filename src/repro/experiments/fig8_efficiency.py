@@ -9,17 +9,21 @@ separate run per budget would measure (minus noise).
 The reproduced claim is that GAS is consistently faster, with the gap
 widening as b grows (the reuse saves more and more recomputation), while the
 tree construction makes the very first round slightly more expensive.
+
+The solvers to time come from ``profile.efficiency_solvers`` and resolve
+through the registry of :mod:`repro.core.engine`; adding a third line to the
+plot is one config entry.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.gas import gas
-from repro.core.greedy import base_plus_greedy
+from repro.core.engine import get_solver
 from repro.datasets import load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_series
+from repro.utils.errors import InvalidParameterError
 
 
 def _times_at_budgets(cumulative: List[float], budgets: List[int]) -> List[object]:
@@ -32,32 +36,47 @@ def _times_at_budgets(cumulative: List[float], budgets: List[int]) -> List[objec
     return values
 
 
+def _display_name(solver_name: str) -> str:
+    """Registry name -> figure label ("gas" -> "GAS", "base+" -> "BASE+")."""
+    return solver_name.upper()
+
+
 def run_fig8(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     profile = profile or get_profile()
     budgets = list(profile.budget_sweep)
     max_budget = max(budgets)
+    solvers = {name: get_solver(name) for name in profile.efficiency_solvers}
     datasets: Dict[str, Dict[str, List[object]]] = {}
 
     for name in profile.efficiency_datasets:
         graph = load_dataset(name)
-        gas_result = gas(graph, max_budget)
-        base_plus_result = base_plus_greedy(graph, max_budget)
-        datasets[name] = {
-            "GAS": _times_at_budgets(
-                gas_result.extra["cumulative_seconds_per_round"], budgets
-            ),
-            "BASE+": _times_at_budgets(
-                base_plus_result.extra["cumulative_seconds_per_round"], budgets
-            ),
-            "gain_check": [gas_result.gain, base_plus_result.gain],
-        }
-    return {"budgets": budgets, "datasets": datasets}
+        payload: Dict[str, List[object]] = {}
+        gains: List[object] = []
+        for solver_name, solver in solvers.items():
+            result = solver(graph, max_budget)
+            cumulative = result.extra.get("cumulative_seconds_per_round")
+            if cumulative is None:
+                raise InvalidParameterError(
+                    f"solver {solver_name!r} records no cumulative per-round "
+                    "times; only greedy round-based solvers can appear in "
+                    "profile.efficiency_solvers"
+                )
+            payload[_display_name(solver_name)] = _times_at_budgets(cumulative, budgets)
+            gains.append(result.gain)
+        payload["gain_check"] = gains
+        datasets[name] = payload
+    return {
+        "budgets": budgets,
+        "solvers": [_display_name(name) for name in solvers],
+        "datasets": datasets,
+    }
 
 
 def render_fig8(result: Dict[str, object]) -> str:
     parts: List[str] = []
+    solver_names = result.get("solvers", ["GAS", "BASE+"])
     for name, payload in result["datasets"].items():
-        series = {"GAS (s)": payload["GAS"], "BASE+ (s)": payload["BASE+"]}
+        series = {f"{solver} (s)": payload[solver] for solver in solver_names}
         parts.append(
             format_series(
                 "b",

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.engine import available_solvers
 from repro.experiments.ablation import render_ablation, run_ablation
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.fig5_exact import render_fig5, run_fig5
@@ -53,7 +54,10 @@ def run_all(profile: Optional[ExperimentProfile] = None, names: Optional[List[st
     """Run the selected experiments and return one combined text report."""
     profile = profile or get_profile()
     names = names or available_experiments()
-    sections: List[str] = [f"# ATR experiment report (profile: {profile.name})"]
+    sections: List[str] = [
+        f"# ATR experiment report (profile: {profile.name})\n\n"
+        f"Registered solvers: {', '.join(available_solvers())}"
+    ]
     for name in names:
         (_result, text), elapsed = timed(lambda name=name: run_experiment(name, profile))
         sections.append(f"## {name}  (wall clock {elapsed:.1f}s)\n\n{text}")

@@ -12,9 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.gas import gas
-from repro.core.greedy import base_greedy, base_plus_greedy
-from repro.core.heuristics import random_baseline, support_baseline, upward_route_baseline
+from repro.core.engine import get_solver
 from repro.datasets import dataset_statistics, load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
@@ -28,37 +26,36 @@ def run_table3(profile: Optional[ExperimentProfile] = None) -> Dict[str, List[Di
     rows: List[Dict[str, object]] = []
     budget = profile.default_budget
 
+    # Solver names come from the profile and resolve through the registry.
+    # The gain columns are keyed by solver name (``gain_<name>``), so
+    # reordering or extending ``profile.baseline_solvers`` relabels the
+    # table instead of silently mislabelling columns.
+    baseline_names = list(profile.baseline_solvers)
+    primary_name = profile.primary_solver
+    primary = get_solver(primary_name)
+    base_plus = get_solver("base+")
+    base = get_solver("base")
+
     for name in profile.datasets:
         graph = load_dataset(name)
         stats = dataset_statistics(name)
         baseline_state = TrussState.compute(graph)
 
-        rand = random_baseline(
-            graph,
-            budget,
-            repetitions=profile.random_repetitions,
-            seed=profile.seed,
-            baseline_state=baseline_state,
-        )
-        sup = support_baseline(
-            graph,
-            budget,
-            repetitions=profile.random_repetitions,
-            seed=profile.seed + 1,
-            baseline_state=baseline_state,
-        )
-        tur = upward_route_baseline(
-            graph,
-            budget,
-            repetitions=profile.random_repetitions,
-            seed=profile.seed + 2,
-            baseline_state=baseline_state,
-        )
-        gas_result = gas(graph, budget)
-        base_plus_result = base_plus_greedy(graph, budget)
+        baseline_gains = {
+            solver_name: get_solver(solver_name)(
+                graph,
+                budget,
+                repetitions=profile.random_repetitions,
+                seed=profile.seed + offset,
+                baseline_state=baseline_state,
+            ).gain
+            for offset, solver_name in enumerate(baseline_names)
+        }
+        gas_result = primary(graph, budget)
+        base_plus_result = base_plus(graph, budget)
 
         if name in profile.base_datasets and profile.base_budget > 0:
-            base_result = base_greedy(graph, profile.base_budget)
+            base_result = base(graph, profile.base_budget)
             per_round = base_result.elapsed_seconds / max(1, len(base_result.per_round_gain))
             base_time: object = round(per_round * budget, 2)
         else:
@@ -67,33 +64,36 @@ def run_table3(profile: Optional[ExperimentProfile] = None) -> Dict[str, List[Di
         rows.append(
             {
                 **stats,
-                "gain_rand": rand.gain,
-                "gain_sup": sup.gain,
-                "gain_tur": tur.gain,
-                "gain_gas": gas_result.gain,
+                **{f"gain_{solver}": gain for solver, gain in baseline_gains.items()},
+                f"gain_{primary_name}": gas_result.gain,
                 "time_base": base_time,
                 "time_base_plus": round(base_plus_result.elapsed_seconds, 2),
-                "time_gas": round(gas_result.elapsed_seconds, 2),
+                f"time_{primary_name}": round(gas_result.elapsed_seconds, 2),
             }
         )
-    return {"rows": rows, "budget": budget}
+    return {
+        "rows": rows,
+        "budget": budget,
+        "baseline_solvers": baseline_names,
+        "primary_solver": primary_name,
+    }
 
 
 def render_table3(result: Dict[str, object]) -> str:
     """Render the Table III reproduction as text."""
+    baseline_names = list(result.get("baseline_solvers", ("rand", "sup", "tur")))
+    primary_name = result.get("primary_solver", "gas")
     headers = [
         "Dataset",
         "|V|",
         "|E|",
         "k_max",
         "sup_max",
-        "Rand",
-        "Sup",
-        "Tur",
-        "GAS",
+        *[name.capitalize() for name in baseline_names],
+        primary_name.upper(),
         "BASE(s)",
         "BASE+(s)",
-        "GAS(s)",
+        f"{primary_name.upper()}(s)",
     ]
     rows = [
         [
@@ -102,13 +102,11 @@ def render_table3(result: Dict[str, object]) -> str:
             row["edges"],
             row["k_max"],
             row["sup_max"],
-            row["gain_rand"],
-            row["gain_sup"],
-            row["gain_tur"],
-            row["gain_gas"],
+            *[row[f"gain_{name}"] for name in baseline_names],
+            row[f"gain_{primary_name}"],
             row["time_base"],
             row["time_base_plus"],
-            row["time_gas"],
+            row[f"time_{primary_name}"],
         ]
         for row in result["rows"]
     ]

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _SOLVERS, main
+from repro.core.engine import available_solvers
 from repro.graph.generators import paper_figure3_graph
 from repro.graph.io import write_edge_list
 
@@ -35,6 +38,43 @@ class TestSolve:
         write_edge_list(paper_figure3_graph(), path)
         assert main(["solve", "--edge-list", str(path), "--algorithm", "rand", "-b", "2"]) == 0
         assert "Rand" in capsys.readouterr().out
+
+    def test_solve_json_format(self, tmp_path, capsys):
+        path = tmp_path / "fig3.txt"
+        write_edge_list(paper_figure3_graph(), path)
+        assert main(
+            [
+                "solve",
+                "--edge-list",
+                str(path),
+                "--algorithm",
+                "gas",
+                "-b",
+                "1",
+                "--format",
+                "json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "GAS"
+        assert payload["gain"] == 3
+        assert payload["anchors"] == [[9, 10]]
+        assert payload["follower_count"] == 3
+        assert sorted(payload["followers"]) == [[5, 8], [7, 8], [8, 9]]
+        assert payload["timings"]["elapsed_seconds"] >= 0
+        assert len(payload["timings"]["cumulative_seconds_per_round"]) == 1
+        assert payload["gain_by_trussness"] == {"3": 3}
+
+
+class TestSolversCommand:
+    def test_solver_table_is_registry_view(self):
+        assert sorted(_SOLVERS) == available_solvers()
+
+    def test_solvers_listing(self, capsys):
+        assert main(["solvers"]) == 0
+        output = capsys.readouterr().out
+        for name in ("gas", "base+", "exact"):
+            assert name in output
 
 
 class TestExperiment:
