@@ -12,17 +12,25 @@ Two generations of the same harness write into ``BENCH_kernel.json``:
   incremental re-peeling of commits and of BASE's per-candidate
   evaluations — against that same pre-engine stack
   (``base_greedy_reference`` / ``gas_reference``) on the Fig. 9 stand-ins.
-  Targets: BASE >= 5x end to end, GAS no slower (>= 0.9x to absorb noise).
+  Targets: BASE >= 5x end to end, GAS no slower (>= 0.9x to absorb noise);
+* the **``engine_v2`` section** (PR 3) times the incremental component-tree
+  maintenance plus the lazy candidate heap against the PR 2 engine
+  (``tree_mode="rebuild"`` + ``candidates="scan"`` force the old behaviour
+  on the *same* code base, so the bar isolates exactly the two new
+  mechanisms).  Targets: GAS >= 2x end to end on the Fig. 9 stand-ins,
+  BASE and exact at parity (>= 0.9x — they do not use the tree, the rows
+  guard against accidental regressions).
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--full] [--smoke]
-        [--engine-only] [--output PATH]
+        [--engine-only] [--engine-v2-only] [--force] [--output PATH]
 
-``--engine-only`` recomputes just the ``engine`` section and merges it into
-the existing output file (append, don't replace — the PR 1 numbers keep
-their provenance).  ``--smoke`` shrinks every section to the smallest
-stand-in for CI.
+``--engine-only`` / ``--engine-v2-only`` recompute just that section and
+merge it into the existing output file.  Sections already present in the
+output are **never overwritten** unless ``--force`` is given (the ROADMAP's
+trajectory rule: later PRs append comparable sections, they do not replace
+history).  ``--smoke`` shrinks every section to the smallest stand-in for CI.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from typing import Callable, Dict, Iterator, List
 
 import repro.core.gas  # noqa: F401 - imported for sys.modules lookup below
 from repro.core.component_tree import TrussComponentTree
+from repro.core.exact import exact_atr
 from repro.core.followers import FollowerMethod, compute_followers
 from repro.core.followers_reference import (
     followers_candidate_peel_reference,
@@ -47,7 +56,7 @@ from repro.core.followers_reference import (
 from repro.core.gas import gas, gas_reference
 from repro.core.greedy import base_greedy, base_greedy_reference
 from repro.core.reuse import compute_reuse_decision_reference
-from repro.datasets import load_dataset
+from repro.datasets import extract_ego_subgraph, load_dataset
 from repro.graph.graph import Graph
 from repro.graph.index import GraphIndex
 from repro.graph.sampling import sample_edges
@@ -339,6 +348,139 @@ def merge_engine_summary(report: Dict[str, object]) -> None:
     summary["engine_gas_not_slower"] = engine_summary["gas_not_slower"]
 
 
+# ---------------------------------------------------------------------------
+# PR 3: incremental component tree + lazy candidate heap vs the PR 2 engine
+# ---------------------------------------------------------------------------
+def _gas_v2(graph: Graph, budget: int):
+    """GAS with the PR 3 defaults: patched tree + lazy candidate heap."""
+    return gas(graph, budget)
+
+
+def _gas_pr2(graph: Graph, budget: int):
+    """GAS forced onto the PR 2 engine path: full tree rebuild + full scan."""
+    return gas(graph, budget, tree_mode="rebuild", candidates="scan")
+
+
+def run_engine_v2_section(
+    gas_graphs: Dict[str, Graph],
+    exact_graphs: Dict[str, Graph],
+    gas_budget: int,
+    base_budget: int,
+    exact_budget: int,
+) -> Dict[str, object]:
+    """The PR 3 section: same harness, new bars.
+
+    The "reference" bar is the PR 2 engine itself (``tree_mode="rebuild"``,
+    ``candidates="scan"``), so the measured speedup isolates exactly the
+    incremental tree patch and the candidate heap.  GAS uses a larger budget
+    than the ``engine`` section (the two mechanisms only pay off from round
+    two onwards; the paper's budgets are 100).  BASE and exact never touch
+    the component tree — their rows run the identical engine path twice and
+    guard parity.
+    """
+    section: Dict[str, object] = {
+        "description": "incremental component-tree maintenance + lazy candidate "
+        "heap (PR 3) vs the PR 2 engine (full tree rebuild + full candidate "
+        "scan per round), same solver code with the old paths forced",
+        "targets": {"gas": 2.0, "base": 0.9, "exact": 0.9},
+        "gas": {},
+        "base": {},
+        "exact": {},
+    }
+    runs = (
+        ("gas", "GAS (tree patch + candidate heap)", gas_graphs,
+         gas_budget, _gas_pr2, _gas_v2, 5),
+        ("base", "BASE (parity guard, no tree use)", gas_graphs,
+         base_budget, base_greedy, base_greedy, 3),
+        ("exact", "exact (parity guard, no tree use)", exact_graphs,
+         exact_budget, exact_atr, exact_atr, 3),
+    )
+    for key, banner, graphs, budget, reference_fn, engine_fn, repeats in runs:
+        print(f"== engine_v2: {banner} ==")
+        for name, graph in graphs.items():
+            entry = bench_engine_pair(
+                key.upper(), name, graph, budget, reference_fn, engine_fn, repeats
+            )
+            section[key][name] = entry
+            print(
+                f"{name:>14}  {entry['speedup']:>7.2f}x  "
+                f"({entry['reference_s']}s -> {entry['engine_s']}s, b={budget})"
+            )
+    gas_min = min(entry["speedup"] for entry in section["gas"].values())
+    base_min = min(entry["speedup"] for entry in section["base"].values())
+    exact_min = min(entry["speedup"] for entry in section["exact"].values())
+    section["summary"] = {
+        "gas_speedup_min": gas_min,
+        "base_speedup_min": base_min,
+        "exact_speedup_min": exact_min,
+        "meets_gas_target": gas_min >= 2.0,
+        "base_at_parity": base_min >= 0.9,
+        "exact_at_parity": exact_min >= 0.9,
+    }
+    return section
+
+
+def merge_engine_v2_summary(report: Dict[str, object]) -> None:
+    """Propagate the engine_v2 summary into the top-level summary."""
+    v2 = report["engine_v2"]["summary"]
+    summary = report.setdefault("summary", {})
+    summary["engine_v2_gas_speedup_min"] = v2["gas_speedup_min"]
+    summary["meets_engine_v2_gas_target"] = v2["meets_gas_target"]
+    summary["engine_v2_base_at_parity"] = v2["base_at_parity"]
+    summary["engine_v2_exact_at_parity"] = v2["exact_at_parity"]
+
+
+# ---------------------------------------------------------------------------
+# Append-only output handling (the ROADMAP trajectory rule)
+# ---------------------------------------------------------------------------
+class SectionExistsError(RuntimeError):
+    """Raised when a run would overwrite an already-recorded section."""
+
+
+def merge_report_sections(
+    existing: Dict[str, object],
+    fresh: Dict[str, object],
+    force: bool = False,
+) -> Dict[str, object]:
+    """Merge ``fresh`` into ``existing``, appending sections only.
+
+    ``BENCH_kernel.json`` is a *trajectory*: each PR appends comparable
+    sections; replacing an existing section silently would rewrite history
+    and break before/after comparisons across PRs.  A section that is
+    already present therefore raises :class:`SectionExistsError` unless
+    ``force`` is given.  The ``summary`` mapping is the one exception — its
+    per-section keys merge freely (each section owns its own keys).
+    """
+    merged = dict(existing)
+    for key, value in fresh.items():
+        if key == "summary":
+            summary = dict(merged.get("summary", {}))  # type: ignore[arg-type]
+            summary.update(value)  # type: ignore[call-overload]
+            merged["summary"] = summary
+        elif key in ("description", "targets"):
+            merged.setdefault(key, value)  # metadata, not a measurement
+        elif key in merged and not force:
+            raise SectionExistsError(
+                f"section {key!r} already exists in the output file; "
+                "append-only (rerun with --force to overwrite, or use "
+                "--output to write elsewhere)"
+            )
+        else:
+            merged[key] = value
+    return merged
+
+
+def write_report(
+    output: Path, report: Dict[str, object], force: bool
+) -> Dict[str, object]:
+    """Merge ``report`` into ``output`` (append-only) and write it."""
+    if output.exists():
+        existing = json.loads(output.read_text(encoding="utf-8"))
+        report = merge_report_sections(existing, report, force=force)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -359,6 +501,18 @@ def main(argv: List[str] | None = None) -> int:
         "existing output file (PR 1 sections are left untouched)",
     )
     parser.add_argument(
+        "--engine-v2-only",
+        action="store_true",
+        help="recompute only the 'engine_v2' section (PR 3: incremental "
+        "tree + candidate heap) and append it to the existing output file",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="allow overwriting sections that already exist in the output "
+        "file (default: append-only, per the ROADMAP trajectory rule)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
@@ -371,6 +525,18 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--base-budget", type=int, default=1, help="anchor budget for the BASE benchmarks"
     )
+    parser.add_argument(
+        "--gas-v2-budget",
+        type=int,
+        default=5,
+        help="anchor budget for the engine_v2 GAS comparison (the tree patch "
+        "and candidate heap pay off from round two onwards, so a budget of "
+        "one or two mostly measures the cold first round)",
+    )
+    parser.add_argument(
+        "--exact-budget", type=int, default=2,
+        help="anchor budget for the engine_v2 exact parity row",
+    )
     args = parser.parse_args(argv)
     if args.output is None:
         # A --smoke run measures the wrong stand-ins for the trajectory file;
@@ -380,6 +546,11 @@ def main(argv: List[str] | None = None) -> int:
             if args.smoke
             else DEFAULT_OUTPUT
         )
+    if args.smoke:
+        # Smoke output is scratch by definition (wrong stand-ins for the
+        # trajectory): re-runs overwrite instead of tripping the
+        # append-only guard.
+        args.force = True
 
     if args.smoke:
         decomposition_datasets = ["college"]
@@ -387,6 +558,11 @@ def main(argv: List[str] | None = None) -> int:
         gas_rates: List[float] = []
         engine_gas_graphs = {"college": load_dataset("college")}
         engine_base_graphs = {"college": load_dataset("college")}
+        exact_graphs = {
+            "facebook-ego": extract_ego_subgraph(
+                load_dataset("facebook"), 55, seed=SAMPLING_SEED
+            )
+        }
     else:
         decomposition_datasets = ["patents", "pokec"] if args.full else ["patents"]
         follower_datasets = ["college", "facebook"]
@@ -400,20 +576,48 @@ def main(argv: List[str] | None = None) -> int:
         # edge, so even one round on the full patents stand-in is expensive;
         # the Fig. 9 samples keep the "before" measurement honest but finite.
         engine_base_graphs = dict(engine_gas_graphs)
+        # The exact parity row runs on a Fig. 5 style ego subgraph (the
+        # solver is combinatorial; whole stand-ins are out of reach).
+        exact_graphs = {
+            "facebook-ego": extract_ego_subgraph(
+                load_dataset("facebook"), 55, seed=SAMPLING_SEED
+            )
+        }
 
-    if args.engine_only:
-        if args.output.exists():
-            report = json.loads(args.output.read_text(encoding="utf-8"))
-        else:
-            report = {}
-        report["engine"] = run_engine_section(
-            engine_gas_graphs, engine_base_graphs, args.base_budget, args.gas_budget
-        )
-        merge_engine_summary(report)
-        args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-        print(f"\nwrote {args.output} (engine section only)")
-        print(json.dumps(report["engine"]["summary"], indent=2))
-        return 0
+    try:
+        if args.engine_only:
+            report = {
+                "engine": run_engine_section(
+                    engine_gas_graphs,
+                    engine_base_graphs,
+                    args.base_budget,
+                    args.gas_budget,
+                )
+            }
+            merge_engine_summary(report)
+            report = write_report(args.output, report, args.force)
+            print(f"\nwrote {args.output} (engine section only)")
+            print(json.dumps(report["engine"]["summary"], indent=2))
+            return 0
+
+        if args.engine_v2_only:
+            report = {
+                "engine_v2": run_engine_v2_section(
+                    engine_gas_graphs,
+                    exact_graphs,
+                    args.gas_v2_budget,
+                    args.base_budget,
+                    args.exact_budget,
+                )
+            }
+            merge_engine_v2_summary(report)
+            report = write_report(args.output, report, args.force)
+            print(f"\nwrote {args.output} (engine_v2 section only)")
+            print(json.dumps(report["engine_v2"]["summary"], indent=2))
+            return 0
+    except SectionExistsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     report: Dict[str, object] = {
         "description": "before/after timings of the integer-indexed truss kernel "
@@ -460,6 +664,13 @@ def main(argv: List[str] | None = None) -> int:
     report["engine"] = run_engine_section(
         engine_gas_graphs, engine_base_graphs, args.base_budget, args.gas_budget
     )
+    report["engine_v2"] = run_engine_v2_section(
+        engine_gas_graphs,
+        exact_graphs,
+        args.gas_v2_budget,
+        args.base_budget,
+        args.exact_budget,
+    )
 
     decomposition_speedup = min(
         entry["anchored_sequence"]["speedup"] for entry in report["decomposition"].values()
@@ -478,8 +689,13 @@ def main(argv: List[str] | None = None) -> int:
         "meets_gas_target": gas_speedup >= 3.0,
     }
     merge_engine_summary(report)
+    merge_engine_v2_summary(report)
 
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    try:
+        report = write_report(args.output, report, args.force)
+    except SectionExistsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"\nwrote {args.output}")
     print(json.dumps(report["summary"], indent=2))
     return 0

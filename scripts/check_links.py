@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Link-check the repository's markdown documentation.
+
+Scans ``README.md``, ``docs/*.md`` and the other top-level ``*.md`` files
+for markdown links/images and verifies that every **intra-repo** target
+resolves to an existing file (external ``http(s)``/``mailto`` targets and
+pure ``#fragment`` anchors are skipped; a ``path#fragment`` target is
+checked for the path part).  Exits non-zero listing every broken reference —
+the CI ``docs`` job runs this, and ``tests/test_docs.py`` keeps it in the
+tier-1 loop.
+
+Usage::
+
+    python scripts/check_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline links/images: [text](target) / ![alt](target); reference-style
+#: definitions: [label]: target
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks and inline code spans (their parentheses and
+    brackets are code, not links)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def iter_targets(markdown: str) -> List[str]:
+    """Every link target in a markdown document (code blocks excluded)."""
+    text = _strip_code_blocks(markdown)
+    targets = _INLINE_LINK.findall(text)
+    targets.extend(_REFERENCE_DEF.findall(text))
+    return targets
+
+
+def check_file(path: Path, repo_root: Path) -> List[Tuple[str, str]]:
+    """Broken intra-repo references of one markdown file, as
+    ``(target, reason)`` pairs."""
+    broken: List[Tuple[str, str]] = []
+    for target in iter_targets(path.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        candidate = target.split("#", 1)[0]
+        if not candidate:
+            continue
+        resolved = (path.parent / candidate).resolve()
+        try:
+            resolved.relative_to(repo_root.resolve())
+        except ValueError:
+            broken.append((target, "points outside the repository"))
+            continue
+        if not resolved.exists():
+            broken.append((target, "target does not exist"))
+    return broken
+
+
+def documentation_files(repo_root: Path) -> List[Path]:
+    files = sorted(repo_root.glob("*.md"))
+    files.extend(sorted((repo_root / "docs").glob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    repo_root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    failures = 0
+    for path in documentation_files(repo_root):
+        for target, reason in check_file(path, repo_root):
+            failures += 1
+            print(f"{path.relative_to(repo_root)}: broken link {target!r} ({reason})")
+    if failures:
+        print(f"\n{failures} broken intra-repo reference(s)")
+        return 1
+    print(f"checked {len(documentation_files(repo_root))} markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,19 +22,56 @@ one additional pass over the triples precomputes ``sla`` for *every* edge at
 once (the GAS loop queries ``sla`` for each candidate in each round).  The
 seed implementation is preserved as :meth:`TrussComponentTree.build_reference`
 for the equivalence tests and the before/after benchmark.
+
+Since PR 3 the tree is also **incrementally maintainable**: after an
+incrementally re-peeled commit, :meth:`TrussComponentTree.apply_commit`
+patches only the nodes whose trussness levels were touched (departures,
+arrivals, merges and ``sla`` updates along dirty paths — see
+docs/ARCHITECTURE.md for the invariants) instead of rebuilding, and
+returns the exact follower-reuse invalidation of that commit.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.index import GraphIndex
 from repro.graph.triangles import triangle_connected_components_reference
 from repro.truss.state import TrussState
 from repro.utils.errors import InvalidEdgeError, InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.core.engine import CommitDelta
+
+#: ``node_of_eid`` sentinel for anchored edges (members of no tree node).
+ANCHOR_NODE = -1
+#: Transient ``node_of_eid`` sentinel used *during* :meth:`TrussComponentTree.apply_commit`
+#: for followers that departed their old node but have not been re-inserted yet.
+_PENDING_NODE = -2
+
+
+@dataclass
+class TreePatchInfo:
+    """What one :meth:`TrussComponentTree.apply_commit` call invalidated.
+
+    ``invalid_node_ids`` reproduces, for this single commit, exactly the node
+    ids that :func:`repro.core.reuse.compute_reuse_decision` would flag when
+    diffing the pre-patch tree against the post-patch tree (structurally
+    touched nodes, the nodes hosting every trussness/layer-changed edge
+    before and after, the anchor's old ``sla`` nodes and its old node).
+    ``dirty_candidate_eids`` is the set of candidate edges whose cached
+    follower entries can possibly have changed — the union of the changed
+    edges, every edge whose ``sla`` set was modified by the patch, and every
+    edge whose (post-patch) ``sla`` references an invalidated node.  Edges
+    outside this set are guaranteed fully reusable, which is what lets the
+    GAS candidate heap skip them without rescanning.
+    """
+
+    invalid_node_ids: Set[int] = field(default_factory=set)
+    dirty_candidate_eids: Set[int] = field(default_factory=set)
 
 
 @dataclass(slots=True)
@@ -60,7 +97,15 @@ class TreeNode:
 
 
 class TrussComponentTree:
-    """The truss component tree of a :class:`TrussState`."""
+    """The truss component tree of a :class:`TrussState`.
+
+    Built once per state with :meth:`build` (single union-find pass in the
+    dense-id domain, ``sla`` precomputed for every edge) and — new in PR 3 —
+    advanced **in place** across committed anchors with :meth:`apply_commit`,
+    which touches only the nodes whose trussness levels changed.  The seed
+    construction survives as :meth:`build_reference`; patched trees are
+    asserted structurally identical to rebuilt ones by the test-suite.
+    """
 
     def __init__(
         self,
@@ -80,6 +125,9 @@ class TrussComponentTree:
         self._sla_sets = sla_sets
         # Dense eid -> node id (-1 for anchors), kernel-built trees only.
         self._node_of_eid = node_of_eid
+        # Reverse sla index (node id -> eids whose sla contains it), built
+        # lazily on the first incremental patch / heap invalidation.
+        self._sla_ref: Optional[Dict[int, Set[int]]] = None
         self._signatures_cache: Optional[
             Dict[int, Tuple[FrozenSet[Edge], Tuple[Tuple[Edge, float, float], ...]]]
         ] = None
@@ -304,6 +352,525 @@ class TrussComponentTree:
                 for edge in component:
                     enclosing[edge] = node_id
         return cls(nodes=nodes, node_of_edge=node_of_edge, roots=roots, state=state)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the PR 3 tentpole)
+    # ------------------------------------------------------------------
+    def _ensure_sla_ref(self) -> Dict[int, Set[int]]:
+        """Build (once) the reverse sla index: node id -> referencing eids."""
+        ref = self._sla_ref
+        if ref is None:
+            ref = {}
+            assert self._sla_sets is not None
+            for eid, entry in enumerate(self._sla_sets):
+                if entry:
+                    for node_id in entry:
+                        ref.setdefault(node_id, set()).add(eid)
+            self._sla_ref = ref
+        return ref
+
+    def sla_referencing(self, node_id: int) -> Set[int]:
+        """Eids whose ``sla`` set contains ``node_id`` (read-only view)."""
+        return self._ensure_sla_ref().get(node_id, set())
+
+    def _attach(self, child_id: int, parent_id: Optional[int]) -> None:
+        """Point ``child.parent`` at ``parent_id``, keeping children lists in sync."""
+        node = self.nodes[child_id]
+        old = node.parent
+        if old == parent_id:
+            return
+        if old is not None:
+            old_node = self.nodes.get(old)
+            if old_node is not None and child_id in old_node.children:
+                old_node.children.remove(child_id)
+        node.parent = parent_id
+        if parent_id is not None:
+            children = self.nodes[parent_id].children
+            if child_id not in children:
+                children.append(child_id)
+
+    def _rekey_sla_refs(self, old_id: int, new_id: int, sla_dirty: Set[int]) -> None:
+        """Swap ``old_id`` for ``new_id`` in every referencing ``sla`` set."""
+        ref = self._ensure_sla_ref()
+        refs = ref.pop(old_id, None)
+        if not refs:
+            return
+        assert self._sla_sets is not None
+        for eid in refs:
+            entry = self._sla_sets[eid]
+            if entry is not None:
+                entry.discard(old_id)
+                entry.add(new_id)
+        sla_dirty |= refs
+        existing = ref.get(new_id)
+        if existing is not None:
+            existing |= refs
+        else:
+            ref[new_id] = refs
+
+    def _rename_node(
+        self,
+        old_id: int,
+        new_id: int,
+        touched: Set[int],
+        sla_dirty: Set[int],
+        forward: Dict[int, Optional[int]],
+    ) -> None:
+        """Re-key a node (its smallest member edge id changed)."""
+        node = self.nodes.pop(old_id)
+        node.node_id = new_id
+        self.nodes[new_id] = node
+        forward[old_id] = new_id
+        touched.add(old_id)
+        touched.add(new_id)
+        if node.parent is not None:
+            siblings = self.nodes[node.parent].children
+            siblings[siblings.index(old_id)] = new_id
+        for child in node.children:
+            self.nodes[child].parent = new_id
+        node_of_eid = self._node_of_eid
+        node_of_edge = self.node_of_edge
+        assert node_of_eid is not None
+        for eid in node.edge_ids:
+            node_of_eid[eid] = new_id
+        for edge in node.edges:
+            node_of_edge[edge] = new_id
+        self._rekey_sla_refs(old_id, new_id, sla_dirty)
+
+    def _merge_nodes(
+        self,
+        a_id: int,
+        b_id: int,
+        touched: Set[int],
+        sla_dirty: Set[int],
+        forward: Dict[int, Optional[int]],
+    ) -> int:
+        """Fuse two same-level nodes whose components became connected.
+
+        The survivor keeps the smaller id (node ids are "smallest contained
+        edge id", and memberships are disjoint, so the invariant is
+        preserved).  Children are re-parented onto the survivor; the caller
+        reconciles the two parent chains (see :meth:`_zip_chains`).
+        """
+        if a_id == b_id:
+            return a_id
+        keep_id, drop_id = (a_id, b_id) if a_id < b_id else (b_id, a_id)
+        keep = self.nodes[keep_id]
+        drop = self.nodes.pop(drop_id)
+        forward[drop_id] = keep_id
+        touched.add(keep_id)
+        touched.add(drop_id)
+        if drop.parent is not None:
+            siblings = self.nodes[drop.parent].children
+            if drop_id in siblings:
+                siblings.remove(drop_id)
+        keep.edges |= drop.edges
+        keep.edge_ids |= drop.edge_ids
+        for child in drop.children:
+            self.nodes[child].parent = keep_id
+        keep.children.extend(drop.children)
+        node_of_eid = self._node_of_eid
+        node_of_edge = self.node_of_edge
+        assert node_of_eid is not None
+        for eid in drop.edge_ids:
+            node_of_eid[eid] = keep_id
+        for edge in drop.edges:
+            node_of_edge[edge] = keep_id
+        self._rekey_sla_refs(drop_id, keep_id, sla_dirty)
+        return keep_id
+
+    def _zip_chains(
+        self,
+        child_id: int,
+        a_id: Optional[int],
+        b_id: Optional[int],
+        touched: Set[int],
+        sla_dirty: Set[int],
+        forward: Dict[int, Optional[int]],
+    ) -> None:
+        """Merge two ancestor chains that now enclose the same component.
+
+        ``child_id``'s component became connected (at ``child``'s level) to a
+        component whose ancestor chain starts at ``b_id`` while its own chain
+        starts at ``a_id``; connectivity at a level implies connectivity at
+        every lower level, so the two chains must interleave into one.  Nodes
+        at equal levels merge; the walk descends strictly in level and
+        terminates at a shared ancestor or the roots.
+        """
+        nodes = self.nodes
+        while True:
+            if a_id == b_id:
+                self._attach(child_id, a_id)
+                return
+            if a_id is None:
+                self._attach(child_id, b_id)
+                return
+            if b_id is None:
+                self._attach(child_id, a_id)
+                return
+            a, b = nodes[a_id], nodes[b_id]
+            if a.k == b.k:
+                next_a, next_b = a.parent, b.parent
+                merged = self._merge_nodes(a_id, b_id, touched, sla_dirty, forward)
+                # The merged node's parent slot is reconciled by the next
+                # loop iteration (it zips next_a against next_b).
+                self._attach(child_id, merged)
+                child_id, a_id, b_id = merged, next_a, next_b
+            elif a.k > b.k:
+                self._attach(child_id, a_id)
+                child_id, a_id = a_id, a.parent
+            else:
+                self._attach(child_id, b_id)
+                child_id, b_id = b_id, b.parent
+
+    def _merge_level_tops(
+        self,
+        level_tops: List[int],
+        touched: Set[int],
+        sla_dirty: Set[int],
+        forward: Dict[int, Optional[int]],
+    ) -> int:
+        """Fuse the level-`k` top nodes of newly-connected components into
+        one, reconciling their parent chains; returns the survivor's id."""
+        target = level_tops[0]
+        for other in level_tops[1:]:
+            next_a, next_b = self.nodes[target].parent, self.nodes[other].parent
+            target = self._merge_nodes(target, other, touched, sla_dirty, forward)
+            self._zip_chains(target, next_a, next_b, touched, sla_dirty, forward)
+        return target
+
+    def _absorb_higher_tops(
+        self,
+        target: int,
+        higher_tops: List[int],
+        touched: Set[int],
+        sla_dirty: Set[int],
+        forward: Dict[int, Optional[int]],
+    ) -> None:
+        """Hang higher-level top nodes below ``target`` (their components
+        joined ``target``'s), folding each one's old parent chain in."""
+        nodes = self.nodes
+        for top in higher_tops:
+            if top not in nodes:  # pragma: no cover - merged away above
+                continue
+            old_parent = nodes[top].parent
+            if old_parent == target:
+                continue
+            self._attach(top, target)
+            self._zip_chains(
+                target, nodes[target].parent, old_parent,
+                touched, sla_dirty, forward,
+            )
+
+    def _top_at(self, eid: int, level: int) -> int:
+        """Topmost ancestor (node id) of ``eid``'s node with ``k >= level``."""
+        node_of_eid = self._node_of_eid
+        assert node_of_eid is not None
+        nodes = self.nodes
+        nid = node_of_eid[eid]
+        while True:
+            parent = nodes[nid].parent
+            if parent is None or nodes[parent].k < level:
+                return nid
+            nid = parent
+
+    def _collect_tops(
+        self,
+        seed_eid: int,
+        level: int,
+        new_truss: List[float],
+        new_mask: bytearray,
+        index: GraphIndex,
+    ) -> Set[int]:
+        """Node ids of every ``{t >= level}`` component triangle-reachable
+        from ``seed_eid``, walking *through* anchored edges (anchors are
+        present at every level and act as connectivity conduits).
+
+        A triangle counts iff its two other edges are each anchored or have
+        (new) trussness at least ``level``.  Followers of the current patch
+        that have not been re-inserted yet (``_PENDING_NODE``) are skipped —
+        their own insertion discovers the same triangles later, so the final
+        connectivity is complete once the whole batch is processed.
+        """
+        tri = index.edge_triangles
+        node_of_eid = self._node_of_eid
+        assert node_of_eid is not None
+        tops: Set[int] = set()
+        seen_anchors: Set[int] = {seed_eid}
+        stack: List[int] = [seed_eid]
+        while stack:
+            current = stack.pop()
+            for a, b, _w in tri[current]:
+                if new_truss[a] < level or new_truss[b] < level:
+                    continue
+                for partner in (a, b):
+                    if new_mask[partner]:
+                        if partner not in seen_anchors:
+                            seen_anchors.add(partner)
+                            stack.append(partner)
+                    else:
+                        nid = node_of_eid[partner]
+                        if nid != _PENDING_NODE:
+                            tops.add(self._top_at(partner, level))
+        return tops
+
+    def _resolve_live(
+        self, nid: Optional[int], forward: Dict[int, Optional[int]]
+    ) -> Optional[int]:
+        """Follow the rename/merge/delete forwarding chain to a live node id."""
+        while nid is not None and nid not in self.nodes:
+            nid = forward[nid]
+        return nid
+
+    def _recompute_sla_of(
+        self,
+        eid: int,
+        new_truss: List[float],
+        new_mask: bytearray,
+        index: GraphIndex,
+        sla_dirty: Set[int],
+    ) -> None:
+        """Recompute ``sla(eid)`` from scratch and sync the reverse index."""
+        assert self._sla_sets is not None
+        node_of_eid = self._node_of_eid
+        assert node_of_eid is not None
+        threshold = new_truss[eid]
+        fresh: Set[int] = set()
+        for a, b, _w in index.edge_triangles[eid]:
+            for neighbour in (a, b):
+                if not new_mask[neighbour] and new_truss[neighbour] >= threshold:
+                    fresh.add(node_of_eid[neighbour])
+        old = self._sla_sets[eid] or set()
+        if fresh == old:
+            return
+        ref = self._ensure_sla_ref()
+        for node_id in old - fresh:
+            refs = ref.get(node_id)
+            if refs is not None:
+                refs.discard(eid)
+        for node_id in fresh - old:
+            ref.setdefault(node_id, set()).add(eid)
+        self._sla_sets[eid] = fresh if fresh else None
+        sla_dirty.add(eid)
+
+    def apply_commit(self, delta: "CommitDelta", new_state: TrussState) -> TreePatchInfo:
+        """Patch the tree **in place** for one incrementally re-peeled anchor.
+
+        ``delta`` is the :class:`~repro.core.engine.CommitDelta` recorded by
+        the engine's incremental re-peel (the anchor, its exact followers and
+        every edge whose trussness or layer changed); ``new_state`` is the
+        state *after* the commit.  Only nodes whose trussness levels were
+        touched are modified:
+
+        * the anchor and every follower *depart* their old node (nodes may
+          shrink, rename — ids are "smallest member edge id" — or disappear,
+          splicing their children onto the parent);
+        * followers *arrive* at their new level, merging any ``{t >= k+1}``
+          components they now bridge (processed in descending level order so
+          higher arrivals are already placed);
+        * the anchor's new permanent presence can connect components at any
+          level up to the trussness of its triangle partners — those merges
+          walk triangle-adjacency *through* anchors (anchors are conduits)
+          and reconcile the ancestor chains (:meth:`_zip_chains`);
+        * ``sla`` is recomputed only for the edges in triangles of the
+          anchor / followers, plus bulk id swaps for renamed or merged nodes
+          via the reverse sla index.
+
+        Trussness can only grow under anchoring, so components never split —
+        a node's *edge set* may split across two levels (followers move up),
+        but the remaining members always stay one node.  The returned
+        :class:`TreePatchInfo` carries the exact invalidation the reuse rule
+        (Algorithm 5) would compute from a full before/after tree diff; the
+        equivalence is asserted by the test-suite on randomized graphs.
+        """
+        if self._node_of_eid is None or self._sla_sets is None:
+            raise InvalidParameterError(
+                "apply_commit requires a kernel-built tree (TrussComponentTree.build)"
+            )
+        index, new_truss, _new_layer, new_mask = new_state.kernel_views()
+        nodes = self.nodes
+        node_of_eid = self._node_of_eid
+        node_of_edge = self.node_of_edge
+        edge_of = index.edge_of
+        stable_ids = index.stable_ids
+        anchor_eid = delta.anchor_eid
+        followers = delta.follower_eids
+
+        touched: Set[int] = set()
+        sla_dirty: Set[int] = set()
+        forward: Dict[int, Optional[int]] = {}
+        self._ensure_sla_ref()
+
+        # -- captures (everything the reuse decision reads from the OLD tree)
+        old_sla_anchor = set(self._sla_sets[anchor_eid] or ())
+        changed_nodes: Set[int] = set()
+        for eid in delta.changed_eids:
+            nid = node_of_eid[eid]
+            if nid >= 0:
+                changed_nodes.add(nid)
+
+        # -- phase 1: departures (the anchor for good, followers temporarily)
+        departures: Dict[int, List[int]] = {}
+        departures.setdefault(node_of_eid[anchor_eid], []).append(anchor_eid)
+        departed_from: Dict[int, int] = {}
+        for f in followers:
+            nid = node_of_eid[f]
+            departed_from[f] = nid
+            departures.setdefault(nid, []).append(f)
+        for nid, leaving in departures.items():
+            node = nodes[nid]
+            touched.add(nid)
+            remaining = node.edge_ids - frozenset(leaving)
+            for eid in leaving:
+                node_of_edge.pop(edge_of[eid], None)
+                node_of_eid[eid] = _PENDING_NODE
+            if not remaining:
+                parent_id = node.parent
+                del nodes[nid]
+                forward[nid] = parent_id
+                if parent_id is not None:
+                    siblings = nodes[parent_id].children
+                    siblings.remove(nid)
+                    siblings.extend(node.children)
+                for child in node.children:
+                    nodes[child].parent = parent_id
+                refs = self._sla_ref.pop(nid, None)  # type: ignore[union-attr]
+                if refs:
+                    for eid in refs:
+                        entry = self._sla_sets[eid]
+                        if entry is not None:
+                            entry.discard(nid)
+                    sla_dirty |= refs
+            else:
+                node.edge_ids = remaining
+                node.edges = node.edges - frozenset(edge_of[eid] for eid in leaving)
+                new_id = stable_ids[min(remaining)]
+                if new_id != nid:
+                    self._rename_node(nid, new_id, touched, sla_dirty, forward)
+        node_of_eid[anchor_eid] = ANCHOR_NODE
+
+        # -- phase 2: follower arrivals, descending new trussness level
+        arrivals_by_level: Dict[int, List[int]] = {}
+        for f in followers:
+            arrivals_by_level.setdefault(int(new_truss[f]), []).append(f)
+        for level in sorted(arrivals_by_level, reverse=True):
+            for f in sorted(arrivals_by_level[level]):
+                tops = self._collect_tops(f, level, new_truss, new_mask, index)
+                level_tops = sorted(t for t in tops if nodes[t].k == level)
+                higher_tops = sorted(t for t in tops if nodes[t].k > level)
+                if level_tops:
+                    target = self._merge_level_tops(
+                        level_tops, touched, sla_dirty, forward
+                    )
+                    node = nodes[target]
+                    touched.add(target)
+                    node.edge_ids |= frozenset((f,))
+                    node.edges |= frozenset((edge_of[f],))
+                    node_of_eid[f] = target
+                    node_of_edge[edge_of[f]] = target
+                    new_id = stable_ids[f]
+                    if new_id < target:
+                        self._rename_node(target, new_id, touched, sla_dirty, forward)
+                        target = new_id
+                else:
+                    # Parent base: the surviving enclosure of f's old node.
+                    # Resolve BEFORE inserting the new node (the new id may
+                    # coincide with the departed node's id), and walk up past
+                    # any node at the arrival level or above (id reuse by a
+                    # sibling follower that already re-arrived).
+                    base = self._resolve_live(departed_from[f], forward)
+                    while base is not None and nodes[base].k >= level:
+                        base = nodes[base].parent
+                    target = stable_ids[f]
+                    nodes[target] = TreeNode(
+                        node_id=target,
+                        k=level,
+                        edges=frozenset((edge_of[f],)),
+                        edge_ids=frozenset((f,)),
+                    )
+                    touched.add(target)
+                    node_of_eid[f] = target
+                    node_of_edge[edge_of[f]] = target
+                    self._zip_chains(target, None, base, touched, sla_dirty, forward)
+                self._absorb_higher_tops(target, higher_tops, touched, sla_dirty, forward)
+
+        # -- phase 3: connections closed by the anchor's permanent presence.
+        # The anchor may bridge components at every level up to the trussness
+        # of its triangle partners, including through chains of other anchors
+        # (an "anchor web").  Gather the candidate levels from the triangles
+        # of the whole reachable web, then merge the reachable components per
+        # level in descending order (higher merges subsume lower ones).
+        tri = index.edge_triangles
+        web: Set[int] = {anchor_eid}
+        stack = [anchor_eid]
+        candidate_levels: Set[int] = set()
+        while stack:
+            current = stack.pop()
+            for a, b, _w in tri[current]:
+                level = min(new_truss[a], new_truss[b])
+                if level != math.inf:
+                    candidate_levels.add(int(level))
+                for partner in (a, b):
+                    if new_mask[partner] and partner not in web:
+                        web.add(partner)
+                        stack.append(partner)
+        for level in sorted(candidate_levels, reverse=True):
+            tops = sorted(self._collect_tops(anchor_eid, level, new_truss, new_mask, index))
+            if len(tops) < 2:
+                continue
+            level_tops = [t for t in tops if nodes[t].k == level]
+            higher_tops = [t for t in tops if nodes[t].k > level]
+            if level_tops:
+                target = self._merge_level_tops(level_tops, touched, sla_dirty, forward)
+                self._absorb_higher_tops(target, higher_tops, touched, sla_dirty, forward)
+            else:
+                base = higher_tops[0]
+                for other in higher_tops[1:]:
+                    if base not in nodes or other not in nodes:  # pragma: no cover
+                        continue
+                    self._zip_chains(
+                        other, nodes[other].parent, nodes[base].parent,
+                        touched, sla_dirty, forward,
+                    )
+
+        # -- phase 4: sla recomputation for the locally affected edges
+        local: Set[int] = set(followers)
+        for seed in (anchor_eid, *followers):
+            for a, b, _w in tri[seed]:
+                local.add(a)
+                local.add(b)
+        for eid in sorted(local):
+            if not new_mask[eid]:
+                self._recompute_sla_of(eid, new_truss, new_mask, index, sla_dirty)
+        if old_sla_anchor:
+            ref = self._ensure_sla_ref()
+            for node_id in old_sla_anchor:
+                refs = ref.get(node_id)
+                if refs is not None:
+                    refs.discard(anchor_eid)
+        self._sla_sets[anchor_eid] = None
+
+        # -- phase 5: derived structures
+        self.roots = [nid for nid, node in nodes.items() if node.parent is None]
+        self.state = new_state
+        self._signatures_cache = None
+
+        for eid in delta.changed_eids:
+            nid = node_of_eid[eid]
+            if nid >= 0:
+                changed_nodes.add(nid)
+        invalid_node_ids = touched | changed_nodes | old_sla_anchor
+        ref = self._ensure_sla_ref()
+        dirty = set(delta.changed_eids)
+        dirty |= sla_dirty
+        for node_id in invalid_node_ids:
+            refs = ref.get(node_id)
+            if refs:
+                dirty |= refs
+        return TreePatchInfo(
+            invalid_node_ids=invalid_node_ids,
+            dirty_candidate_eids=dirty,
+        )
 
     # ------------------------------------------------------------------
     # Queries

@@ -67,8 +67,9 @@ from typing import (
     Tuple,
 )
 
-from repro.core.component_tree import TrussComponentTree
+from repro.core.component_tree import TreePatchInfo, TrussComponentTree
 from repro.core.result import AnchorResult
+from repro.core.reuse import ReuseDecision, ReuseInvalidation, compute_reuse_decision
 from repro.graph.graph import Edge, Graph
 from repro.graph.index import GraphIndex, peel_trussness
 from repro.truss.decomposition import TrussDecomposition
@@ -76,6 +77,7 @@ from repro.truss.state import TrussState
 from repro.utils.errors import InvalidParameterError
 
 __all__ = [
+    "CommitDelta",
     "SolveRequest",
     "SolverEngine",
     "SolverSpec",
@@ -91,7 +93,39 @@ __all__ = [
 #: longer pays off once most of the graph is dirty anyway).
 DEFAULT_FULL_PEEL_THRESHOLD = 0.25
 
+#: Component-tree maintenance strategies (``SolverEngine(tree_mode=...)``).
+TREE_MODES = ("patch", "rebuild")
+
+#: Pending invalidation entries kept before collapsing to a stale marker —
+#: a consumer (GAS) drains the log every round; anything far beyond that is
+#: an engine user who never calls :meth:`SolverEngine.take_reuse_decision`.
+_INVALIDATION_LOG_LIMIT = 64
+
 _INF = math.inf
+
+
+@dataclass
+class CommitDelta:
+    """Everything an incremental re-peel learned about one committed anchor.
+
+    Recorded by :meth:`SolverEngine._advance` whenever the incremental path
+    ran (the full-peel fallback records ``None`` instead) and consumed by
+    the incremental component-tree patch
+    (:meth:`~repro.core.component_tree.TrussComponentTree.apply_commit`):
+
+    * ``anchor_eid`` — dense id of the committed anchor;
+    * ``follower_eids`` — its exact follower set (every one gained ``+1``);
+    * ``changed_eids`` — every edge whose trussness *or* peeling layer
+      differs from the pre-commit state (the anchor itself included); this
+      is exactly the ``invalid_edges`` set of the reuse rule (Algorithm 5);
+    * ``state_after`` — the materialised post-commit state (cleared once the
+      tree has consumed the delta, so chained states do not accumulate).
+    """
+
+    anchor_eid: int
+    follower_eids: Tuple[int, ...]
+    changed_eids: FrozenSet[int]
+    state_after: Optional[TrussState]
 
 
 # ---------------------------------------------------------------------------
@@ -300,10 +334,20 @@ class SolverEngine:
         graph: Graph,
         baseline_state: Optional[TrussState] = None,
         full_peel_threshold: float = DEFAULT_FULL_PEEL_THRESHOLD,
+        tree_mode: str = "patch",
     ) -> None:
+        if tree_mode not in TREE_MODES:
+            raise InvalidParameterError(
+                f"unknown tree_mode {tree_mode!r}; expected one of {TREE_MODES}"
+            )
         self.graph = graph
         self.index = GraphIndex.of(graph)
         self.full_peel_threshold = full_peel_threshold
+        #: ``"patch"`` (default) maintains the component tree incrementally
+        #: after each commit; ``"rebuild"`` forces the PR 2 behaviour (a full
+        #: :meth:`TrussComponentTree.build` per state) — the reference twin
+        #: the equivalence tests and benchmarks pin the patched path against.
+        self.tree_mode = tree_mode
         self._original_state = baseline_state
         # Committed anchor chain + the prefix of it already materialised as a
         # TrussState (commits are lazy: a final round that never reads the
@@ -314,6 +358,17 @@ class SolverEngine:
         self._materialized_count = 0
         self._tree: Optional[TrussComponentTree] = None
         self._tree_state: Optional[TrussState] = None
+        # Per-commit deltas recorded by the incremental re-peel (None for
+        # full-peel fallbacks), aligned with the materialised chain; the
+        # component tree consumes them from _tree_commit_index onwards.
+        self._deltas: List[Optional[CommitDelta]] = []
+        self._tree_commit_index = 0
+        # Invalidation log since the last take_reuse_decision() call:
+        # ("patch", TreePatchInfo, CommitDelta) per patched commit,
+        # ("rebuild", (previous_tree, commit_span), None) for a rebuild, or
+        # ("stale", None, None) once the log can no longer yield an exact
+        # decision (mixed batches, overflow) — stale entries pin no memory.
+        self._invalidation_log: List[Tuple[str, object, Optional[CommitDelta]]] = []
         # GAS per-candidate follower caches: F[eid][node_id] plus the cached
         # per-candidate totals.  Owned here so a session can span rounds.
         self.follower_cache: Dict[int, Dict[int, FrozenSet[Edge]]] = {}
@@ -325,6 +380,8 @@ class SolverEngine:
             "incremental_gain_evals": 0,
             "full_gain_evals": 0,
             "dirty_edges": 0,
+            "tree_patches": 0,
+            "tree_rebuilds": 0,
         }
 
     # ------------------------------------------------------------------
@@ -372,6 +429,9 @@ class SolverEngine:
         self._materialized_count = 0
         self._tree = None
         self._tree_state = None
+        self._deltas = []
+        self._tree_commit_index = 0
+        self._invalidation_log = []
         self.follower_cache.clear()
         self.follower_totals.clear()
 
@@ -380,12 +440,115 @@ class SolverEngine:
         self.anchors.append(self.graph.require_edge(edge))
 
     def tree(self) -> TrussComponentTree:
-        """The truss component tree of the current state (cached per state)."""
+        """The truss component tree of the current state.
+
+        With ``tree_mode="patch"`` (the default) an existing tree is advanced
+        **incrementally**: each commit's :class:`CommitDelta` is applied via
+        :meth:`TrussComponentTree.apply_commit`, touching only the nodes whose
+        trussness levels changed.  The tree is rebuilt from scratch only when
+        a commit fell back to a full peel (no delta available), when no tree
+        exists yet, or with ``tree_mode="rebuild"`` (the PR 2 reference
+        behaviour).  Every absorbed commit is logged so
+        :meth:`take_reuse_decision` can report the exact invalidation.
+        """
         state = self.state
-        if self._tree is None or self._tree_state is not state:
-            self._tree = TrussComponentTree.build(state)
+        if self._tree is not None and self._tree_state is state:
+            return self._tree
+        tree = self._tree
+        if (
+            self.tree_mode == "patch"
+            and tree is not None
+            and self._tree_commit_index < self._materialized_count
+            and all(
+                self._deltas[i] is not None
+                for i in range(self._tree_commit_index, self._materialized_count)
+            )
+        ):
+            while self._tree_commit_index < self._materialized_count:
+                delta = self._deltas[self._tree_commit_index]
+                assert delta is not None and delta.state_after is not None
+                info = tree.apply_commit(delta, delta.state_after)
+                self.stats["tree_patches"] += 1
+                self._invalidation_log.append(("patch", info, delta))
+                delta.state_after = None  # release the chained state
+                self._tree_commit_index += 1
+            if len(self._invalidation_log) > _INVALIDATION_LOG_LIMIT:
+                # Nobody is draining the log; stop accumulating exact info.
+                self._invalidation_log = [("stale", None, None)]
             self._tree_state = state
+            return tree
+        if tree is not None:
+            if self._invalidation_log:
+                # A mixed batch can never yield an exact decision; collapse
+                # to a stale marker so the old tree is not pinned in memory.
+                self._invalidation_log = [("stale", None, None)]
+            else:
+                span = self._materialized_count - self._tree_commit_index
+                self._invalidation_log.append(("rebuild", (tree, span), None))
+        self._tree = TrussComponentTree.build(state)
+        self.stats["tree_rebuilds"] += 1
+        self._tree_state = state
+        self._tree_commit_index = self._materialized_count
+        for delta in self._deltas:
+            if delta is not None:
+                delta.state_after = None
         return self._tree
+
+    def take_reuse_decision(
+        self, committed_anchor: Edge, committed_followers: Iterable[Edge]
+    ) -> Optional[ReuseInvalidation]:
+        """Exact follower-reuse invalidation for the commits since last asked.
+
+        Refreshes the component tree, then consumes the invalidation log:
+
+        * if every absorbed commit was an incremental tree patch, the
+          decision is assembled from the patch bookkeeping alone — no
+          before/after tree diff, no full scan — and ``dirty_eids`` narrows
+          the candidates the GAS heap must re-examine to the dirty closure;
+        * if the tree was rebuilt (full-peel fallback or
+          ``tree_mode="rebuild"``), the decision comes from the classic
+          before/after diff (:func:`compute_reuse_decision`) and
+          ``dirty_eids`` is ``None`` (re-examine everything);
+        * returns ``None`` when no information is available (no commit since
+          the last call, or several mixed commits at once) — callers must
+          then treat every cached entry as invalid.
+
+        Either way the returned decision is byte-identical to what
+        :func:`compute_reuse_decision` would produce, which the test-suite
+        asserts on randomized graphs.
+        """
+        self.tree()
+        log = self._invalidation_log
+        self._invalidation_log = []
+        if not log:
+            return None
+        if len(log) == 1 and log[0][0] == "rebuild":
+            previous_tree, span = log[0][1]  # type: ignore[misc]
+            assert isinstance(previous_tree, TrussComponentTree)
+            if span != 1:
+                # The rebuild absorbed several commits at once; steps 2-3 of
+                # the reuse rule (sla adjacency, follower hosts) would only
+                # cover the last anchor — be conservative instead.
+                return None
+            decision = compute_reuse_decision(
+                previous_tree,
+                self._tree,  # type: ignore[arg-type]
+                committed_anchor,
+                set(committed_followers),
+            )
+            return ReuseInvalidation(decision=decision, dirty_eids=None)
+        if all(kind == "patch" for kind, _info, _delta in log):
+            decision = ReuseDecision()
+            dirty: Set[int] = set()
+            edge_of = self.index.edge_of
+            for _kind, info, delta in log:
+                assert isinstance(info, TreePatchInfo) and delta is not None
+                decision.invalid_node_ids |= info.invalid_node_ids
+                for eid in delta.changed_eids:
+                    decision.invalid_edges.add(edge_of[eid])
+                dirty |= info.dirty_candidate_eids
+            return ReuseInvalidation(decision=decision, dirty_eids=dirty)
+        return None  # pragma: no cover - mixed multi-commit batches
 
     # ------------------------------------------------------------------
     # Incremental re-peeling
@@ -402,6 +565,7 @@ class SolverEngine:
         dirty = _dirty_closure(index, truss, eid, self.full_peel_threshold * m)
         if dirty is None:
             self.stats["full_peels"] += 1
+            self._deltas.append(None)
             return TrussState.compute(self.graph, set(state.anchors) | {new_anchor})
         self.stats["dirty_edges"] += len(dirty)
         self.stats["incremental_peels"] += 1
@@ -460,7 +624,30 @@ class SolverEngine:
             k_max=k_max,
             dense_views=(index, new_truss, new_layer, new_mask),
         )
-        return TrussState(graph=self.graph, anchors=anchor_set, decomposition=decomposition)
+        new_state = TrussState(graph=self.graph, anchors=anchor_set, decomposition=decomposition)
+
+        # Record the commit delta for the incremental tree patch: the exact
+        # followers plus every edge whose trussness OR layer moved (scanning
+        # only the re-peeled hulls — layer changes cannot occur elsewhere,
+        # which is invariant 3 of the incremental re-peel).
+        changed: Set[int] = {eid}
+        changed.update(followers)
+        for members in members_by_level.values():
+            for e2 in members:
+                if new_layer[e2] != layer[e2] or new_truss[e2] != truss[e2]:
+                    changed.add(e2)
+        self._deltas.append(
+            CommitDelta(
+                anchor_eid=eid,
+                follower_eids=tuple(sorted(followers)),
+                changed_eids=frozenset(changed),
+                # The chained state is only kept while a tree exists to
+                # consume it (the patch path); solvers that never read the
+                # tree must not pin the whole chain in memory.
+                state_after=new_state if self._tree is not None else None,
+            )
+        )
+        return new_state
 
     def evaluate_gain(self, edge: Edge) -> int:
         """Trussness gain of anchoring ``edge`` on top of the current state.
@@ -570,7 +757,15 @@ class SolverEngine:
         initial_anchors: Iterable[Edge] = (),
         **params: object,
     ) -> AnchorResult:
-        """Run a registered solver against this session."""
+        """Run a registered solver against this session.
+
+        ``algorithm`` is a registry name (see :func:`available_solvers`);
+        ``initial_anchors`` are committed before round one; ``params`` are
+        solver-specific knobs validated against the solver's declared
+        parameter list (a typo fails loudly).  The session is reset first,
+        so one engine can serve many solves while reusing its
+        :class:`GraphIndex` and baseline state.
+        """
         spec = get_solver(algorithm)
         if spec.params is not None:
             unknown = set(params) - set(spec.params)
@@ -602,7 +797,7 @@ SolverFn = Callable[[SolverEngine, SolveRequest], AnchorResult]
 
 #: Engine-construction keywords accepted by :meth:`SolverSpec.__call__` and
 #: stripped from the solver params.
-_ENGINE_KWARGS = ("baseline_state", "full_peel_threshold")
+_ENGINE_KWARGS = ("baseline_state", "full_peel_threshold", "tree_mode")
 
 
 @dataclass(frozen=True)
@@ -723,5 +918,12 @@ def solver_table() -> Mapping[str, SolverSpec]:
 
 
 def solve(graph: Graph, budget: int, algorithm: str = "gas", **params: object) -> AnchorResult:
-    """One-shot convenience: build an engine and run ``algorithm``."""
+    """One-shot convenience: build an engine and run ``algorithm``.
+
+    Equivalent to ``SolverEngine(graph).solve(algorithm, budget, **params)``
+    with engine-construction keywords (``baseline_state``,
+    ``full_peel_threshold``, ``tree_mode``) split off automatically.  Use a
+    long-lived :class:`SolverEngine` instead when running several solves
+    over the same graph.
+    """
     return get_solver(algorithm)(graph, budget, **params)

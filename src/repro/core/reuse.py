@@ -43,6 +43,25 @@ class ReuseDecision:
 
 
 @dataclass
+class ReuseInvalidation:
+    """A :class:`ReuseDecision` plus the candidate edges it can affect.
+
+    Produced by :meth:`repro.core.engine.SolverEngine.take_reuse_decision`
+    after a committed anchor.  ``dirty_eids`` — when not ``None`` — is an
+    exact superset of the dense edge ids whose cached follower entries (or
+    reuse classification) can differ from the previous round; every other
+    candidate is guaranteed fully reusable with an unchanged gain, so the
+    GAS candidate heap re-examines only the dirty ones.  ``dirty_eids is
+    None`` means the information is unavailable (the tree was rebuilt from
+    scratch, e.g. after a full-peel fallback) and every candidate must be
+    re-examined, with ``decision`` still exact.
+    """
+
+    decision: ReuseDecision
+    dirty_eids: Optional[Set[int]] = None
+
+
+@dataclass
 class ReuseStats:
     """Per-round reuse statistics (the FR / PR / NR split of Fig. 10)."""
 

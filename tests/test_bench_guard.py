@@ -1,0 +1,93 @@
+"""Tests for the benchmark harness's append-only output handling.
+
+``BENCH_kernel.json`` is a trajectory — each PR appends comparable sections
+(ROADMAP rule).  The harness must refuse to overwrite an existing section
+unless ``--force`` is given.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_kernel_under_test", REPO_ROOT / "benchmarks" / "bench_kernel.py"
+)
+bench_kernel = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_kernel)
+
+SectionExistsError = bench_kernel.SectionExistsError
+merge_report_sections = bench_kernel.merge_report_sections
+write_report = bench_kernel.write_report
+
+
+class TestMergeReportSections:
+    def test_appends_new_sections(self):
+        existing = {"decomposition": {"a": 1}, "summary": {"x": 1}}
+        fresh = {"engine_v2": {"gas": {}}, "summary": {"y": 2}}
+        merged = merge_report_sections(existing, fresh)
+        assert merged["decomposition"] == {"a": 1}
+        assert merged["engine_v2"] == {"gas": {}}
+        assert merged["summary"] == {"x": 1, "y": 2}
+
+    def test_refuses_to_overwrite_existing_section(self):
+        existing = {"engine": {"old": True}}
+        with pytest.raises(SectionExistsError):
+            merge_report_sections(existing, {"engine": {"new": True}})
+        # the refusal must not have mutated the input
+        assert existing == {"engine": {"old": True}}
+
+    def test_force_overwrites(self):
+        merged = merge_report_sections(
+            {"engine": {"old": True}}, {"engine": {"new": True}}, force=True
+        )
+        assert merged["engine"] == {"new": True}
+
+    def test_metadata_keys_merge_freely(self):
+        existing = {"description": "gen 1", "targets": {"gas": 3.0}}
+        merged = merge_report_sections(
+            existing, {"description": "gen 2", "engine_v2": {}}
+        )
+        assert merged["description"] == "gen 1"  # first writer wins
+        assert merged["engine_v2"] == {}
+
+    def test_summary_keys_update_in_place(self):
+        merged = merge_report_sections(
+            {"summary": {"gas_speedup_min": 3.0}},
+            {"summary": {"gas_speedup_min": 4.0, "extra": 1}},
+        )
+        assert merged["summary"] == {"gas_speedup_min": 4.0, "extra": 1}
+
+
+class TestWriteReport:
+    def test_roundtrip_append(self, tmp_path):
+        output = tmp_path / "bench.json"
+        write_report(output, {"engine": {"v": 1}, "summary": {"a": 1}}, force=False)
+        write_report(output, {"engine_v2": {"v": 2}, "summary": {"b": 2}}, force=False)
+        data = json.loads(output.read_text(encoding="utf-8"))
+        assert data["engine"] == {"v": 1}
+        assert data["engine_v2"] == {"v": 2}
+        assert data["summary"] == {"a": 1, "b": 2}
+
+    def test_second_write_of_same_section_refused(self, tmp_path):
+        output = tmp_path / "bench.json"
+        write_report(output, {"engine_v2": {"v": 1}}, force=False)
+        with pytest.raises(SectionExistsError):
+            write_report(output, {"engine_v2": {"v": 2}}, force=False)
+        data = json.loads(output.read_text(encoding="utf-8"))
+        assert data["engine_v2"] == {"v": 1}  # file untouched
+
+    def test_repo_trajectory_still_has_all_generations(self):
+        """The curated BENCH_kernel.json keeps every PR's section."""
+        data = json.loads(
+            (REPO_ROOT / "BENCH_kernel.json").read_text(encoding="utf-8")
+        )
+        assert {"decomposition", "followers", "gas", "engine", "engine_v2"} <= set(data)
+        assert data["engine_v2"]["summary"]["meets_gas_target"] is True
+        assert data["engine_v2"]["summary"]["base_at_parity"] is True
+        assert data["engine_v2"]["summary"]["exact_at_parity"] is True

@@ -1,0 +1,77 @@
+"""Documentation health checks, kept in the tier-1 loop.
+
+* every intra-repo markdown link in README.md / docs/*.md resolves
+  (the CI ``docs`` job runs the same checker standalone);
+* the generated API reference is in sync with the docstrings;
+* the reproducibility guide covers every registered experiment.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(script: str):
+    spec = importlib.util.spec_from_file_location(
+        script, REPO_ROOT / "scripts" / f"{script}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestIntraRepoLinks:
+    def test_all_markdown_links_resolve(self):
+        check_links = _load("check_links")
+        broken = []
+        for path in check_links.documentation_files(REPO_ROOT):
+            for target, reason in check_links.check_file(path, REPO_ROOT):
+                broken.append(f"{path.relative_to(REPO_ROOT)}: {target} ({reason})")
+        assert not broken, "broken intra-repo links:\n" + "\n".join(broken)
+
+    def test_checker_flags_broken_links(self, tmp_path):
+        check_links = _load("check_links")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[ok](doc.md) [missing](nope.md) [ext](https://example.com) "
+            "[anchor](#x) `[code](fake.md)`\n",
+            encoding="utf-8",
+        )
+        broken = check_links.check_file(doc, tmp_path)
+        assert [target for target, _ in broken] == ["nope.md"]
+
+    def test_checker_covers_readme_and_docs(self):
+        check_links = _load("check_links")
+        names = {
+            path.name for path in check_links.documentation_files(REPO_ROOT)
+        }
+        assert {"README.md", "ARCHITECTURE.md", "REPRODUCING.md", "API.md"} <= names
+
+
+class TestGeneratedApiReference:
+    def test_api_md_is_in_sync_with_docstrings(self):
+        gen_api = _load("gen_api")
+        committed = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+        assert gen_api.render() == committed, (
+            "docs/API.md is stale — regenerate with "
+            "`PYTHONPATH=src python scripts/gen_api.py`"
+        )
+
+
+class TestReproducingGuide:
+    def test_every_experiment_is_documented(self):
+        from repro.experiments.runner import available_experiments
+
+        text = (REPO_ROOT / "docs" / "REPRODUCING.md").read_text(encoding="utf-8")
+        missing = [name for name in available_experiments() if f"`{name}`" not in text]
+        assert not missing, f"experiments missing from REPRODUCING.md: {missing}"
+
+    def test_every_profile_is_documented(self):
+        from repro.experiments.config import PROFILES
+
+        text = (REPO_ROOT / "docs" / "REPRODUCING.md").read_text(encoding="utf-8")
+        for name in PROFILES:
+            assert f"`{name}`" in text
