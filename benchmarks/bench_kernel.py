@@ -19,14 +19,23 @@ Two generations of the same harness write into ``BENCH_kernel.json``:
   on the *same* code base, so the bar isolates exactly the two new
   mechanisms).  Targets: GAS >= 2x end to end on the Fig. 9 stand-ins,
   BASE and exact at parity (>= 0.9x — they do not use the tree, the rows
-  guard against accidental regressions).
+  guard against accidental regressions);
+* the **``service`` section** (PR 4) times the serving layer: a warm
+  ``SolveService`` (engine-session cache + grouped batching + memoisation)
+  against cold single-shot solves of the same request batch (target: >= 3x
+  throughput on the Fig. 9 stand-ins), asserts batched results are
+  byte-identical to single-shot solves for **every** registered solver, and
+  records the ROADMAP's paper-budget (b=100) heap-vs-scan GAS row on the
+  largest stand-in loaded through the on-disk SNAP pipeline.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--full] [--smoke]
-        [--engine-only] [--engine-v2-only] [--force] [--output PATH]
+        [--engine-only] [--engine-v2-only] [--service-only] [--force]
+        [--output PATH]
 
-``--engine-only`` / ``--engine-v2-only`` recompute just that section and
+``--engine-only`` / ``--engine-v2-only`` / ``--service-only`` recompute
+just that section and
 merge it into the existing output file.  Sections already present in the
 output are **never overwritten** unless ``--force`` is given (the ROADMAP's
 trajectory rule: later PRs append comparable sections, they do not replace
@@ -57,6 +66,7 @@ from repro.core.gas import gas, gas_reference
 from repro.core.greedy import base_greedy, base_greedy_reference
 from repro.core.reuse import compute_reuse_decision_reference
 from repro.datasets import extract_ego_subgraph, load_dataset
+from repro.service.protocol import result_to_json as result_to_json_payload
 from repro.graph.graph import Graph
 from repro.graph.index import GraphIndex
 from repro.graph.sampling import sample_edges
@@ -431,6 +441,242 @@ def merge_engine_v2_summary(report: Dict[str, object]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# PR 4: the serving layer (warm engine sessions + batching) vs cold solves
+# ---------------------------------------------------------------------------
+#: Per-stand-in serving workload: (algorithm, budget, params).  Each template
+#: repeats SERVICE_REPEAT times in the batch — the repeated-request pattern an
+#: engine-session cache (and the memo) is built for.
+SERVICE_WORKLOAD = (
+    ("gas", 2, {}),
+    ("sup", 5, {"seed": 7, "repetitions": 5}),
+    ("base", 1, {}),
+)
+SERVICE_REPEAT = 4
+
+#: Determinism rows: one representative request per registered solver (the
+#: section asserts batched-service output == single-shot solve for each).
+SERVICE_DETERMINISM = {
+    "base": ("college", 2, {}),
+    "base+": ("college", 2, {}),
+    "gas": ("college", 3, {}),
+    "rand": ("college", 3, {"seed": 11, "repetitions": 10}),
+    "sup": ("college", 3, {"seed": 11, "repetitions": 10}),
+    "tur": ("college", 3, {"seed": 11, "repetitions": 10}),
+    "exact": ("exact", 2, {}),
+}
+
+
+def _service_requests(name: str, graph: Graph, repeat: int) -> list:
+    from repro.service import ServiceRequest
+
+    edges = tuple(graph.edge_list())
+    return [
+        ServiceRequest(
+            request_id=f"{name}/{algorithm}/b{budget}/{round_index}",
+            edges=edges,
+            algorithm=algorithm,
+            budget=budget,
+            params=params,
+        )
+        for round_index in range(repeat)
+        for algorithm, budget, params in SERVICE_WORKLOAD
+    ]
+
+
+def bench_service_workload(name: str, graph: Graph, repeat: int) -> Dict[str, object]:
+    """Warm batched serving vs cold single-shot solves of the same requests.
+
+    *Cold* runs every request through a zero-capacity, memo-free service —
+    a fresh engine (index + baseline peel) per request, i.e. the
+    ``repro-atr solve`` cost paid N times.  *Warm* runs the identical batch
+    through a caching service: one session per graph, repeats answered from
+    the memo.  Both sides must agree canonically on every response — the
+    speedup only counts if the answers are byte-identical.
+    """
+    from repro.service import SolveService, run_batch
+
+    requests = _service_requests(name, graph, repeat)
+    with SolveService(workers=1, session_capacity=0, memoize=False) as cold_service:
+        cold_start = time.perf_counter()
+        cold_responses = [cold_service.solve(request) for request in requests]
+        cold_s = time.perf_counter() - cold_start
+    with SolveService(workers=2, session_capacity=4, memoize=True) as warm_service:
+        warm_start = time.perf_counter()
+        warm_responses = run_batch(warm_service, requests)
+        warm_s = time.perf_counter() - warm_start
+        warm_stats = warm_service.stats()
+    for cold, warm in zip(cold_responses, warm_responses):
+        if not cold.ok or cold.canonical() != warm.canonical():  # pragma: no cover
+            raise AssertionError(
+                f"service diverged from cold solve on {cold.request_id}: "
+                f"{cold.error or cold.canonical()} != {warm.error or warm.canonical()}"
+            )
+    return {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "requests": len(requests),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "cold_throughput_rps": round(len(requests) / cold_s, 2),
+        "warm_throughput_rps": round(len(requests) / warm_s, 2),
+        "speedup": round(cold_s / warm_s, 2),
+        "memo_hits": warm_stats["memo_hits"],
+        "session_hits": warm_stats["sessions"]["hits"],  # type: ignore[index]
+    }
+
+
+def bench_service_determinism(exact_graph: Graph) -> Dict[str, object]:
+    """Byte-identity of batched service results vs single-shot solves.
+
+    Covers **every** solver in the registry (a newly registered solver that
+    is not given a determinism row fails the run, on purpose).  Each request
+    is submitted to the warm service twice — the second answer comes from
+    the session/memo — and both must match the canonical single-shot result.
+    """
+    from repro.core.engine import available_solvers, get_solver
+    from repro.service import ServiceRequest, SolveService, canonical_result
+
+    missing = set(available_solvers()) - set(SERVICE_DETERMINISM)
+    if missing:  # pragma: no cover - trips when a solver gains no row
+        raise AssertionError(
+            f"no determinism row for registered solver(s): {sorted(missing)}; "
+            "extend SERVICE_DETERMINISM"
+        )
+    college = load_dataset("college")
+    exact_edges = tuple(exact_graph.edge_list())
+    college_edges = tuple(college.edge_list())
+    rows: Dict[str, bool] = {}
+    with SolveService(workers=2, session_capacity=4, memoize=True) as service:
+        for solver_name in available_solvers():
+            source, budget, params = SERVICE_DETERMINISM[solver_name]
+            graph = exact_graph if source == "exact" else college
+            edges = exact_edges if source == "exact" else college_edges
+            single = get_solver(solver_name)(graph, budget, **dict(params))
+            expected = json.dumps(
+                canonical_result(result_to_json_payload(single)), sort_keys=True
+            )
+            request = ServiceRequest(
+                request_id=f"determinism/{solver_name}",
+                edges=edges,
+                algorithm=solver_name,
+                budget=budget,
+                params=params,
+            )
+            for attempt in ("fresh", "memo"):
+                response = service.solve(request)
+                got = json.dumps(canonical_result(response.result), sort_keys=True)
+                if got != expected:  # pragma: no cover
+                    raise AssertionError(
+                        f"service result for {solver_name} ({attempt}) differs "
+                        "from single-shot solve"
+                    )
+            rows[solver_name] = True
+    return {"identical": all(rows.values()), "solvers": rows}
+
+
+def bench_service_paper_budget(
+    dataset_name: str, budget: int
+) -> Dict[str, object]:
+    """Heap-vs-scan at a paper-scale budget on a graph loaded from disk.
+
+    The ROADMAP follow-up: the lazy candidate heap's advantage compounds
+    with every round, so the b=5 ``engine_v2`` rows understate it.  The
+    graph goes through the on-disk SNAP pipeline (materialise -> parse ->
+    ``.npz`` reload), whose timings are recorded alongside.
+    """
+    from repro.core.gas import gas as gas_solver
+    from repro.datasets import load_snap_report, materialize_dataset
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        path = materialize_dataset(dataset_name, tmp_dir)
+        parse_start = time.perf_counter()
+        graph, first = load_snap_report(path)
+        parse_s = time.perf_counter() - parse_start
+        reload_start = time.perf_counter()
+        graph, second = load_snap_report(path)
+        reload_s = time.perf_counter() - reload_start
+        assert first["cache"] == "rebuilt" and second["cache"] == "hit"
+    GraphIndex.of(graph)
+    heap_start = time.perf_counter()
+    heap_result = gas_solver(graph, budget)
+    heap_s = time.perf_counter() - heap_start
+    scan_start = time.perf_counter()
+    scan_result = gas_solver(graph, budget, candidates="scan")
+    scan_s = time.perf_counter() - scan_start
+    if heap_result.anchors != scan_result.anchors:  # pragma: no cover
+        raise AssertionError(
+            f"heap GAS diverged from scan GAS at b={budget} on {dataset_name}"
+        )
+    return {
+        "dataset": dataset_name,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "budget": budget,
+        "loader": {
+            "parse_s": round(parse_s, 4),
+            "npz_reload_s": round(reload_s, 4),
+        },
+        "scan_s": round(scan_s, 4),
+        "heap_s": round(heap_s, 4),
+        "speedup": round(scan_s / heap_s, 2),
+    }
+
+
+def run_service_section(
+    service_graphs: Dict[str, Graph],
+    exact_graph: Graph,
+    paper_dataset: str,
+    paper_budget: int,
+) -> Dict[str, object]:
+    section: Dict[str, object] = {
+        "description": "SolveService (engine-session cache + request batching "
+        "+ memoisation) vs cold single-shot solves of the same request batch; "
+        "determinism rows assert batched output == single-shot solve for "
+        "every registered solver; paper_budget records heap-vs-scan GAS at "
+        "paper scale on a graph loaded through the on-disk SNAP pipeline",
+        "targets": {"warm_vs_cold": 3.0},
+        "workloads": {},
+    }
+    print("== service: warm batched vs cold single-shot ==")
+    for name, graph in service_graphs.items():
+        entry = bench_service_workload(name, graph, SERVICE_REPEAT)
+        section["workloads"][name] = entry
+        print(
+            f"{name:>14}  {entry['speedup']:>7.2f}x  "
+            f"({entry['cold_s']}s -> {entry['warm_s']}s, "
+            f"{entry['requests']} requests, {entry['memo_hits']} memo hits)"
+        )
+    print("== service: determinism across the registry ==")
+    section["determinism"] = bench_service_determinism(exact_graph)
+    print(f"identical: {sorted(section['determinism']['solvers'])}")
+    print(f"== service: paper budget b={paper_budget} on {paper_dataset} ==")
+    entry = bench_service_paper_budget(paper_dataset, paper_budget)
+    section["paper_budget"] = entry
+    print(
+        f"{paper_dataset:>14}  {entry['speedup']:>7.2f}x  "
+        f"(scan {entry['scan_s']}s -> heap {entry['heap_s']}s)"
+    )
+    warm_min = min(entry["speedup"] for entry in section["workloads"].values())
+    section["summary"] = {
+        "warm_vs_cold_speedup_min": warm_min,
+        "meets_warm_target": warm_min >= 3.0,
+        "determinism_identical": section["determinism"]["identical"],
+        "paper_budget_heap_speedup": section["paper_budget"]["speedup"],
+    }
+    return section
+
+
+def merge_service_summary(report: Dict[str, object]) -> None:
+    """Propagate the service summary into the top-level summary."""
+    service = report["service"]["summary"]
+    summary = report.setdefault("summary", {})
+    summary["service_warm_vs_cold_speedup_min"] = service["warm_vs_cold_speedup_min"]
+    summary["meets_service_warm_target"] = service["meets_warm_target"]
+    summary["service_determinism_identical"] = service["determinism_identical"]
+    summary["service_paper_budget_heap_speedup"] = service["paper_budget_heap_speedup"]
+
+
+# ---------------------------------------------------------------------------
 # Append-only output handling (the ROADMAP trajectory rule)
 # ---------------------------------------------------------------------------
 class SectionExistsError(RuntimeError):
@@ -507,6 +753,18 @@ def main(argv: List[str] | None = None) -> int:
         "tree + candidate heap) and append it to the existing output file",
     )
     parser.add_argument(
+        "--service-only",
+        action="store_true",
+        help="recompute only the 'service' section (PR 4: warm engine "
+        "sessions, batching, memoisation, paper-budget heap-vs-scan) and "
+        "append it to the existing output file",
+    )
+    parser.add_argument(
+        "--paper-budget", type=int, default=100,
+        help="GAS budget for the service section's paper-scale heap-vs-scan "
+        "row (the paper's experiments use b=100)",
+    )
+    parser.add_argument(
         "--force",
         action="store_true",
         help="allow overwriting sections that already exist in the output "
@@ -563,6 +821,8 @@ def main(argv: List[str] | None = None) -> int:
                 load_dataset("facebook"), 55, seed=SAMPLING_SEED
             )
         }
+        service_graphs = {"college": load_dataset("college")}
+        paper_dataset, paper_budget = "college", min(args.paper_budget, 10)
     else:
         decomposition_datasets = ["patents", "pokec"] if args.full else ["patents"]
         follower_datasets = ["college", "facebook"]
@@ -583,6 +843,9 @@ def main(argv: List[str] | None = None) -> int:
                 load_dataset("facebook"), 55, seed=SAMPLING_SEED
             )
         }
+        service_graphs = dict(engine_gas_graphs)
+        # Paper-budget row: the largest stand-in the pipeline can load.
+        paper_dataset, paper_budget = "pokec", args.paper_budget
 
     try:
         if args.engine_only:
@@ -614,6 +877,21 @@ def main(argv: List[str] | None = None) -> int:
             report = write_report(args.output, report, args.force)
             print(f"\nwrote {args.output} (engine_v2 section only)")
             print(json.dumps(report["engine_v2"]["summary"], indent=2))
+            return 0
+
+        if args.service_only:
+            report = {
+                "service": run_service_section(
+                    service_graphs,
+                    exact_graphs["facebook-ego"],
+                    paper_dataset,
+                    paper_budget,
+                )
+            }
+            merge_service_summary(report)
+            report = write_report(args.output, report, args.force)
+            print(f"\nwrote {args.output} (service section only)")
+            print(json.dumps(report["service"]["summary"], indent=2))
             return 0
     except SectionExistsError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -671,6 +949,12 @@ def main(argv: List[str] | None = None) -> int:
         args.base_budget,
         args.exact_budget,
     )
+    report["service"] = run_service_section(
+        service_graphs,
+        exact_graphs["facebook-ego"],
+        paper_dataset,
+        paper_budget,
+    )
 
     decomposition_speedup = min(
         entry["anchored_sequence"]["speedup"] for entry in report["decomposition"].values()
@@ -690,6 +974,7 @@ def main(argv: List[str] | None = None) -> int:
     }
     merge_engine_summary(report)
     merge_engine_v2_summary(report)
+    merge_service_summary(report)
 
     try:
         report = write_report(args.output, report, args.force)

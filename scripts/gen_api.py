@@ -25,8 +25,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import component_tree, engine, result, reuse  # noqa: E402
+from repro.datasets import registry as datasets_registry  # noqa: E402
+from repro.datasets import snap as datasets_snap  # noqa: E402
 from repro.graph import graph as graph_module  # noqa: E402
 from repro.graph import index as index_module  # noqa: E402
+from repro.service import batching as service_batching  # noqa: E402
+from repro.service import protocol as service_protocol  # noqa: E402
+from repro.service import scheduler as service_scheduler  # noqa: E402
+from repro.service import session_cache as service_session_cache  # noqa: E402
 from repro.truss import state as state_module  # noqa: E402
 
 #: (section title, module, [object names]) — the public surface, in reading
@@ -63,18 +69,68 @@ API_SURFACE = [
         ["ReuseDecision", "ReuseInvalidation", "compute_reuse_decision"],
     ),
     (
+        "Serving layer (`repro.service`)",
+        None,
+        [],
+    ),
+    (
+        "Datasets and the SNAP pipeline (`repro.datasets`)",
+        None,
+        [],
+    ),
+    (
         "Graph kernel (`repro.graph`)",
         None,
         [],
     ),
 ]
 
-#: Extra entries drawn from several modules for the graph kernel section.
+#: Extra entries drawn from several modules for the multi-module sections.
 GRAPH_SURFACE = [
     (graph_module, ["Graph"]),
     (index_module, ["GraphIndex", "peel_trussness"]),
     (state_module, ["TrussState"]),
 ]
+
+SERVICE_SURFACE = [
+    (service_scheduler, ["SolveService"]),
+    (service_session_cache, ["EngineSessionCache", "EngineSession"]),
+    (
+        service_protocol,
+        [
+            "ServiceRequest",
+            "ServiceResponse",
+            "result_to_json",
+            "canonical_result",
+            "parse_request_line",
+        ],
+    ),
+    (service_batching, ["run_batch", "run_batch_file", "group_requests"]),
+]
+
+DATASETS_SURFACE = [
+    (
+        datasets_registry,
+        ["DatasetSpec", "register_dataset", "load_dataset", "dataset_statistics"],
+    ),
+    (
+        datasets_snap,
+        [
+            "graph_fingerprint",
+            "load_snap",
+            "load_snap_report",
+            "register_snap_dataset",
+            "materialize_dataset",
+        ],
+    ),
+]
+
+#: Multi-module section title -> its surface list.
+COMPOSITE_SECTIONS = {
+    "Serving layer (`repro.service`)": SERVICE_SURFACE,
+    "Datasets and the SNAP pipeline (`repro.datasets`)": DATASETS_SURFACE,
+    "Graph kernel (`repro.graph`)": GRAPH_SURFACE,
+}
 
 METHOD_ALLOWLIST = {
     "SolverEngine": [
@@ -111,6 +167,18 @@ METHOD_ALLOWLIST = {
         "followers_relative_to",
     ],
     "SolveRequest": ["param", "reject_initial_anchors"],
+    "SolveService": [
+        "solve",
+        "solve_many",
+        "submit",
+        "submit_sequence",
+        "stats",
+        "close",
+    ],
+    "EngineSessionCache": ["acquire", "stats"],
+    "EngineSession": ["memo_get", "memo_put"],
+    "ServiceRequest": ["source_label", "engine_key", "to_dict"],
+    "ServiceResponse": ["to_dict", "to_json_line", "canonical"],
 }
 
 
@@ -174,7 +242,7 @@ def render() -> str:
     for title, module, names in API_SURFACE:
         lines.append(f"## {title}\n")
         if module is None:
-            for sub_module, sub_names in GRAPH_SURFACE:
+            for sub_module, sub_names in COMPOSITE_SECTIONS[title]:
                 for name in sub_names:
                     _emit_object(sub_module, name, lines)
         else:

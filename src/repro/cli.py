@@ -9,6 +9,13 @@ Sub-commands
 ``solve``
     Run an anchor-selection algorithm on a dataset or an edge-list file
     (``--format json`` for machine-readable output).
+``serve``
+    Serve solve requests as a JSON-lines loop: one request per stdin line,
+    one response per stdout line, until EOF (the
+    :mod:`repro.service.protocol` format).
+``batch``
+    Run a JSON-lines request *file* through the service (grouped by graph
+    for warm-session reuse) and write a JSON-lines response file.
 ``experiment``
     Run one experiment of the harness (table3, fig5, ..., ablation).
 ``report``
@@ -17,7 +24,8 @@ Sub-commands
 
 The solver table is a live view over the registry of
 :mod:`repro.core.engine` — registering a solver anywhere makes it available
-to ``solve --algorithm`` without touching this module.
+to ``solve --algorithm`` (and to every service request) without touching
+this module.
 """
 
 from __future__ import annotations
@@ -25,54 +33,25 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from collections import deque
 from typing import List, Optional
 
 from repro.core.engine import solver_table
-from repro.core.result import AnchorResult
 from repro.datasets import DATASETS, dataset_statistics, load_dataset
 from repro.experiments.config import PROFILES, get_profile
 from repro.experiments.runner import available_experiments, run_all, run_experiment
 from repro.graph.io import read_edge_list
+from repro.service.protocol import (
+    ProtocolError,
+    ServiceResponse,
+    parse_request_line,
+    result_to_json,
+)
 from repro.utils.errors import ReproError
 
 #: Live name -> solver view over the engine's registry (was a hand-maintained
 #: dict of imported functions before the SolverEngine layer existed).
 _SOLVERS = solver_table()
-
-
-def _json_safe(value: object) -> object:
-    """Recursively convert a result payload into JSON-serialisable types."""
-    if isinstance(value, dict):
-        return {str(key): _json_safe(entry) for key, entry in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        items = list(value)
-        if isinstance(value, (set, frozenset)):
-            items = sorted(items, key=repr)
-        return [_json_safe(entry) for entry in items]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
-
-
-def result_to_json(result: AnchorResult) -> dict:
-    """Machine-readable rendering of an :class:`AnchorResult`."""
-    return {
-        "algorithm": result.algorithm,
-        "budget": result.budget,
-        "anchors": [list(edge) for edge in result.anchors],
-        "gain": result.gain,
-        "per_round_gain": list(result.per_round_gain),
-        "followers": sorted([list(edge) for edge in result.followers]),
-        "follower_count": len(result.followers),
-        "gain_by_trussness": {str(k): v for k, v in result.gain_by_trussness.items()},
-        "timings": {
-            "elapsed_seconds": result.elapsed_seconds,
-            "cumulative_seconds_per_round": list(
-                result.extra.get("cumulative_seconds_per_round", [])
-            ),
-        },
-        "extra": _json_safe(result.extra),
-    }
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,6 +76,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format (json emits anchors, gain and timings machine-readably)",
     )
 
+    def _service_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers", type=int, default=4, help="worker threads in the solve pool"
+        )
+        command.add_argument(
+            "--session-cache",
+            type=int,
+            default=8,
+            help="warm engine sessions to keep (LRU; 0 disables session reuse)",
+        )
+        command.add_argument(
+            "--no-memo",
+            action="store_true",
+            help="disable request-level memoisation of deterministic solves",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve solve requests: one JSON request per stdin line, one "
+        "JSON response per stdout line, until EOF",
+    )
+    _service_args(serve)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSON-lines request file through the service and write a "
+        "JSON-lines response file",
+    )
+    batch.add_argument("requests", help="input request file (one JSON object per line)")
+    batch.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="response file path (default: <requests>.results.jsonl)",
+    )
+    _service_args(batch)
+
     experiment = sub.add_parser("experiment", help="run one experiment of the harness")
     experiment.add_argument("name", choices=available_experiments())
     experiment.add_argument("--profile", choices=sorted(PROFILES), default="laptop")
@@ -106,6 +122,67 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--only", nargs="*", choices=available_experiments(), default=None)
 
     return parser
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` loop: pipelined JSON lines, responses in input order."""
+    from repro.service import SolveService
+
+    count = 0
+    with SolveService(
+        workers=args.workers,
+        session_capacity=args.session_cache,
+        memoize=not args.no_memo,
+    ) as service:
+        pending: deque = deque()
+
+        def _drain(block: bool) -> None:
+            while pending and (block or pending[0].done()):
+                print(pending.popleft().result().to_json_line(), flush=True)
+
+        for line_number, line in enumerate(sys.stdin, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            count += 1
+            try:
+                request = parse_request_line(line, f"line-{line_number}")
+            except ProtocolError as exc:
+                # Keep input order: flush everything in flight, then report.
+                _drain(block=True)
+                error = ServiceResponse(
+                    request_id=f"line-{line_number}", ok=False, error=str(exc)
+                )
+                print(error.to_json_line(), flush=True)
+                continue
+            pending.append(service.submit(request))
+            _drain(block=False)
+        _drain(block=True)
+        print(f"served {count} request(s); {service.stats()}", file=sys.stderr)
+    return 0
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.service import SolveService, run_batch_file
+
+    output = args.output if args.output is not None else args.requests + ".results.jsonl"
+    with SolveService(
+        workers=args.workers,
+        session_capacity=args.session_cache,
+        memoize=not args.no_memo,
+    ) as service:
+        summary = run_batch_file(service, args.requests, output)
+    print(
+        f"wrote {summary['output']}: {summary['ok']}/{summary['requests']} ok "
+        f"({summary['errors']} error(s)) in {summary['elapsed_s']}s"
+    )
+    sessions = summary["service"]["sessions"]  # type: ignore[index]
+    print(
+        f"sessions: {sessions['hits']} hit(s), {sessions['misses']} miss(es), "
+        f"{sessions['evictions']} eviction(s); "
+        f"memo hits: {summary['service']['memo_hits']}"  # type: ignore[index]
+    )
+    return 0 if summary["errors"] == 0 else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -141,6 +218,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("anchors:", result.anchors)
             print("gain by original trussness:", result.gain_by_trussness)
         return 0
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "batch":
+        return _run_batch(args)
 
     if args.command == "experiment":
         _result, text = run_experiment(args.name, get_profile(args.profile))

@@ -373,7 +373,11 @@ class SolverEngine:
         # per-candidate totals.  Owned here so a session can span rounds.
         self.follower_cache: Dict[int, Dict[int, FrozenSet[Edge]]] = {}
         self.follower_totals: Dict[int, int] = {}
-        #: Diagnostics: how often each re-peel path ran this session.
+        #: Diagnostics: how often each re-peel path ran for the *current*
+        #: solve.  :meth:`reset` folds the counters into
+        #: :attr:`lifetime_stats` and zeroes them, so a warm (cached) engine
+        #: reports exactly the same per-solve stats as a fresh one — the
+        #: serving layer's byte-identity guarantee depends on this.
         self.stats: Dict[str, int] = {
             "incremental_peels": 0,
             "full_peels": 0,
@@ -383,6 +387,12 @@ class SolverEngine:
             "tree_patches": 0,
             "tree_rebuilds": 0,
         }
+        #: Accumulated counters of every solve that was *reset away* (the
+        #: current solve's counters live in :attr:`stats` until the next
+        #: reset); see :meth:`session_info` for the combined view.
+        self.lifetime_stats: Dict[str, int] = dict.fromkeys(self.stats, 0)
+        #: Number of :meth:`solve` calls served by this engine instance.
+        self.solve_count = 0
 
     # ------------------------------------------------------------------
     # State management
@@ -413,11 +423,22 @@ class SolverEngine:
         return state
 
     def reset(self, initial_anchors: Iterable[Edge] = ()) -> None:
-        """Start a fresh solve: drop the chain, caches and tree.
+        """Start a fresh solve: drop the chain, caches, tree and per-solve stats.
+
+        The expensive session assets — the :class:`GraphIndex` and the
+        anchor-free baseline state — survive, which is exactly what a warm
+        (cached) engine amortises across requests.  Everything a solver can
+        observe is restored: the state chain, the component tree, the
+        follower caches and the :attr:`stats` counters (folded into
+        :attr:`lifetime_stats`), so a solve on a reused engine is
+        byte-identical to the same solve on a fresh engine.
 
         Duplicate initial anchors are dropped (first occurrence wins) —
         anchoring is idempotent, and the chain advance rejects re-anchoring.
         """
+        for key, value in self.stats.items():
+            self.lifetime_stats[key] = self.lifetime_stats.get(key, 0) + value
+            self.stats[key] = 0
         seen: Set[Edge] = set()
         self.anchors = []
         for e in initial_anchors:
@@ -781,7 +802,26 @@ class SolverEngine:
             params=params,
         )
         self.reset(request.initial_anchors)
+        self.solve_count += 1
         return spec.fn(self, request)
+
+    def session_info(self) -> Dict[str, object]:
+        """Session-level diagnostics for long-lived (cached) engines.
+
+        Returns the solve count plus the lifetime re-peel counters (the
+        accumulated :attr:`lifetime_stats` merged with the current solve's
+        :attr:`stats`).  The serving layer attaches this to its responses so
+        operators can see how warm a session actually is.
+        """
+        combined = dict(self.lifetime_stats)
+        for key, value in self.stats.items():
+            combined[key] = combined.get(key, 0) + value
+        return {
+            "solve_count": self.solve_count,
+            "num_vertices": self.graph.num_vertices,
+            "num_edges": self.graph.num_edges,
+            "lifetime_stats": combined,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
@@ -808,12 +848,19 @@ class SolverSpec:
     ``request.params``; :meth:`SolverEngine.solve` rejects anything else, so
     a typo'd keyword fails loudly instead of silently running with defaults.
     ``None`` (the default for third-party registrations) skips the check.
+
+    ``randomized`` marks solvers whose result depends on randomness unless a
+    ``seed`` parameter is supplied (the Rand/Sup/Tur baselines).  The serving
+    layer consults it before memoising a result: a deterministic solver is a
+    pure function of ``(graph, request)`` and can be answered from cache; a
+    randomized one without a seed must be re-run every time.
     """
 
     name: str
     fn: SolverFn
     description: str = ""
     params: Optional[Tuple[str, ...]] = None
+    randomized: bool = False
 
     def __call__(
         self, graph: Graph, budget: int, initial_anchors: Iterable[Edge] = (), **params: object
@@ -852,20 +899,25 @@ def register_solver(
     description: str = "",
     replace: bool = False,
     params: Optional[Tuple[str, ...]] = None,
+    randomized: bool = False,
 ) -> Callable[[SolverFn], SolverFn]:
     """Register ``fn`` under ``name`` (usable as a decorator).
 
     Registering an existing name raises unless ``replace=True`` — silently
     shadowing a solver is how benchmark tables go subtly wrong.  ``params``
-    optionally declares the accepted ``request.params`` keys (see
-    :class:`SolverSpec`).
+    optionally declares the accepted ``request.params`` keys and
+    ``randomized`` marks seed-dependent solvers (see :class:`SolverSpec`).
     """
 
     def _register(solver_fn: SolverFn) -> SolverFn:
         if not replace and name in _REGISTRY:
             raise InvalidParameterError(f"solver {name!r} is already registered")
         _REGISTRY[name] = SolverSpec(
-            name=name, fn=solver_fn, description=description, params=params
+            name=name,
+            fn=solver_fn,
+            description=description,
+            params=params,
+            randomized=randomized,
         )
         return solver_fn
 

@@ -69,36 +69,88 @@ def _pick_best(
 @register_solver(
     "base",
     description="greedy with per-candidate incremental re-peel (Algorithm 2)",
-    params=(),
+    params=("candidate_pool",),
 )
 def _solve_base(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     graph = engine.graph
     _check_budget(graph, request.budget)
+    pool_strategy = str(request.param("candidate_pool", "reuse"))
+    if pool_strategy not in ("reuse", "scan"):
+        raise InvalidParameterError(
+            f"unknown candidate_pool {pool_strategy!r}; expected 'reuse' or 'scan'"
+        )
+    use_reuse = pool_strategy == "reuse"
     start = time.perf_counter()
     per_round_gain: List[int] = []
     cumulative_seconds: List[float] = []
     index = engine.index
-    eid_of = index.eid_of
+    m = index.num_edges
+    edge_of = index.edge_of
     original_trussness = engine.original_state.kernel_views()[1]
 
-    for _ in range(request.budget):
+    # Candidate-pool narrowing (``candidate_pool="reuse"``, the default):
+    # the reuse rule proves that a committed anchor can only change the gain
+    # of candidates inside its dirty closure — the edges whose trussness or
+    # layer moved, plus (via the component tree's reverse ``sla`` index) the
+    # candidates whose ``sla`` references a touched node.  The engine's
+    # :meth:`take_reuse_decision` yields exactly that set when the tree was
+    # patched incrementally, so every round after the first re-peels only
+    # the dirty candidates and keeps all other cached gains.  ``"scan"``
+    # forces the previous evaluate-everything behaviour (the reference twin;
+    # both produce identical anchors and gains — asserted by the tests).
+    score_of: dict = {}
+    invalidation = None
+    if use_reuse and request.budget > 1:
+        engine.tree()  # build the baseline tree so commits patch (and log) it
+
+    for _round in range(request.budget):
         state = engine.state
-        current_trussness = state.kernel_views()[1]
-        scored = []
-        for edge in state.non_anchor_edges():
+        current_trussness, anchor_mask = (
+            state.kernel_views()[1],
+            state.kernel_views()[3],
+        )
+        dirty_eids = None
+        if use_reuse and invalidation is not None and invalidation.dirty_eids is not None:
+            dirty_eids = invalidation.dirty_eids
+        if dirty_eids is None:
+            score_of.clear()
+            eval_eids = [eid for eid in range(m) if not anchor_mask[eid]]
+        else:
+            eval_eids = [eid for eid in sorted(dirty_eids) if not anchor_mask[eid]]
+        for eid in eval_eids:
             # Score by the true marginal gain of Definition 4 (relative to
             # the original graph): the candidate's follower count from the
             # restricted re-peel, minus the gain the candidate itself
             # accumulated as a follower of earlier anchors (forfeited once
             # it becomes an anchor).  See the module docstring of gas.py.
-            eid = eid_of[edge]
             accumulated = current_trussness[eid] - original_trussness[eid]
-            scored.append((edge, engine.evaluate_gain(edge) - accumulated))
-        best_edge, best_score = _pick_best(graph, scored)
-        if best_edge is None:
+            score_of[eid] = engine.evaluate_gain(edge_of[eid]) - accumulated
+        # Highest cached score wins; ties break on the smallest edge id
+        # (dense eids are ascending in public edge id), exactly like
+        # :func:`_pick_best` over a full scan.
+        best_eid = -1
+        best_score = -1
+        for eid, score in score_of.items():
+            if score > best_score or (score == best_score and eid < best_eid):
+                best_eid, best_score = eid, score
+        if best_eid < 0:
             break
+        best_edge = edge_of[best_eid]
         engine.commit_anchor(best_edge)
-        per_round_gain.append(best_score)
+        score_of.pop(best_eid, None)
+        per_round_gain.append(max(best_score, 0))
+        if use_reuse and _round + 1 < request.budget:
+            # Advance the state now and diff the trussness arrays: the
+            # committed anchor's followers are exactly the edges whose
+            # trussness moved (+1 each, Lemma 1) — the reuse rule's input.
+            previous_trussness = current_trussness
+            new_trussness = engine.state.kernel_views()[1]
+            followers = [
+                edge_of[e2]
+                for e2 in range(m)
+                if e2 != best_eid and new_trussness[e2] != previous_trussness[e2]
+            ]
+            invalidation = engine.take_reuse_decision(best_edge, followers)
         cumulative_seconds.append(time.perf_counter() - start)
 
     elapsed = time.perf_counter() - start
@@ -173,15 +225,23 @@ def base_greedy(
     graph: Graph,
     budget: int,
     initial_anchors: Iterable[Edge] = (),
+    candidate_pool: str = "reuse",
 ) -> AnchorResult:
     """The paper's BASE algorithm (Algorithm 2), run through the engine.
 
     Selects exactly the same anchors as :func:`base_greedy_reference` (the
     equivalence suite asserts this); the per-candidate evaluation is an
-    incremental re-peel instead of a whole-graph decomposition.
+    incremental re-peel instead of a whole-graph decomposition, and with
+    ``candidate_pool="reuse"`` (the default) every round after the first
+    re-evaluates only the candidates the reuse rule marks dirty — the dirty
+    closure of the committed anchor plus the candidates whose ``sla``
+    references a touched tree node (via the reverse ``sla`` index).
+    ``candidate_pool="scan"`` forces the evaluate-everything reference twin.
     """
     engine = SolverEngine(graph)
-    return engine.solve("base", budget, initial_anchors=initial_anchors)
+    return engine.solve(
+        "base", budget, initial_anchors=initial_anchors, candidate_pool=candidate_pool
+    )
 
 
 def base_plus_greedy(

@@ -79,6 +79,7 @@ def _top_fraction(request: SolveRequest) -> float:
     "rand",
     description="best of N uniformly random anchor sets",
     params=("repetitions", "seed"),
+    randomized=True,
 )
 def _solve_rand(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     request.reject_initial_anchors("rand")
@@ -100,6 +101,7 @@ def _solve_rand(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     "sup",
     description="best of N random anchor sets from top-support edges",
     params=("repetitions", "seed", "top_fraction"),
+    randomized=True,
 )
 def _solve_sup(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     request.reject_initial_anchors("sup")
@@ -124,6 +126,7 @@ def _solve_sup(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     "tur",
     description="best of N random anchor sets from top upward-route edges",
     params=("repetitions", "seed", "top_fraction", "route_sizes"),
+    randomized=True,
 )
 def _solve_tur(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     request.reject_initial_anchors("tur")

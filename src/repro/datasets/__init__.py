@@ -1,4 +1,6 @@
-"""Dataset registry: synthetic stand-ins for the paper's eight SNAP networks."""
+"""Dataset registry: synthetic stand-ins for the paper's eight SNAP networks,
+plus the on-disk SNAP pipeline (edge-list loading, ``.npz`` caching and graph
+fingerprinting) that feeds real graphs into the serving layer."""
 
 from repro.datasets.registry import (
     DATASETS,
@@ -7,6 +9,15 @@ from repro.datasets.registry import (
     dataset_statistics,
     extract_ego_subgraph,
     load_dataset,
+    register_dataset,
+)
+from repro.datasets.snap import (
+    graph_fingerprint,
+    load_snap,
+    load_snap_report,
+    materialize_dataset,
+    register_snap_dataset,
+    snap_cache_path,
 )
 
 __all__ = [
@@ -15,5 +26,12 @@ __all__ = [
     "dataset_names",
     "dataset_statistics",
     "extract_ego_subgraph",
+    "graph_fingerprint",
     "load_dataset",
+    "load_snap",
+    "load_snap_report",
+    "materialize_dataset",
+    "register_dataset",
+    "register_snap_dataset",
+    "snap_cache_path",
 ]

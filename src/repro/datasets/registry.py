@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.generators import (
     community_graph,
@@ -107,7 +107,7 @@ def _pokec() -> Graph:
     return union_of_graphs([sparse, cores])
 
 
-_SPECS: Tuple[DatasetSpec, ...] = (
+_SPECS: List[DatasetSpec] = [
     DatasetSpec(
         name="college",
         paper_name="College",
@@ -164,9 +164,39 @@ _SPECS: Tuple[DatasetSpec, ...] = (
         builder=_pokec,
         size_class="large",
     ),
-)
+]
 
 DATASETS: Dict[str, DatasetSpec] = {spec.name: spec for spec in _SPECS}
+
+_SIZE_CLASSES = ("small", "medium", "large")
+
+
+def register_dataset(spec: DatasetSpec, replace: bool = False) -> DatasetSpec:
+    """Add ``spec`` to the registry (used by the on-disk SNAP pipeline).
+
+    Registered datasets behave exactly like the built-in stand-ins: they show
+    up in :func:`dataset_names`, the CLI's ``datasets``/``solve --dataset``
+    commands and the serving layer's ``{"dataset": name}`` requests.
+    Re-registering an existing name raises unless ``replace=True`` (silently
+    shadowing a dataset is how benchmark tables go subtly wrong); replacing
+    also drops the memoised graph of the old spec.
+    """
+    if spec.size_class not in _SIZE_CLASSES:
+        raise InvalidParameterError(
+            f"unknown size_class {spec.size_class!r}; expected one of {_SIZE_CLASSES}"
+        )
+    existing = DATASETS.get(spec.name)
+    if existing is not None:
+        if not replace:
+            raise InvalidParameterError(
+                f"dataset {spec.name!r} is already registered"
+            )
+        _SPECS[_SPECS.index(existing)] = spec
+        load_dataset.cache_clear()
+    else:
+        _SPECS.append(spec)
+    DATASETS[spec.name] = spec
+    return spec
 
 
 def dataset_names(size_classes: Optional[Sequence[str]] = None) -> List[str]:

@@ -1,0 +1,44 @@
+"""The serving layer: concurrent solve-serving on top of the solver registry.
+
+``repro.service`` is the first subsystem that *serves* the engine stack
+instead of driving it from a script: requests come in (JSON lines over the
+CLI's ``serve``/``batch`` commands, or :class:`ServiceRequest` objects in
+process), are routed through the solver registry, and reuse warm
+engine sessions keyed by graph fingerprint.  See
+``docs/ARCHITECTURE.md`` ("Serving layer") for the invariants.
+"""
+
+from repro.service.batching import (
+    group_requests,
+    read_request_file,
+    run_batch,
+    run_batch_file,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    ServiceRequest,
+    ServiceResponse,
+    canonical_result,
+    parse_request,
+    parse_request_line,
+    result_to_json,
+)
+from repro.service.scheduler import SolveService
+from repro.service.session_cache import EngineSession, EngineSessionCache
+
+__all__ = [
+    "EngineSession",
+    "EngineSessionCache",
+    "ProtocolError",
+    "ServiceRequest",
+    "ServiceResponse",
+    "SolveService",
+    "canonical_result",
+    "group_requests",
+    "parse_request",
+    "parse_request_line",
+    "read_request_file",
+    "result_to_json",
+    "run_batch",
+    "run_batch_file",
+]

@@ -1,0 +1,318 @@
+"""The :class:`SolveService`: a concurrent solve-serving front end.
+
+The service sits on the seam the solver registry opened: every request is a
+``(graph source, solver name, parameters)`` triple routed through
+:meth:`SolverEngine.solve`, so any registered solver — built-in or
+third-party — is servable without the service knowing it exists.  On top of
+that it adds the serving concerns the bare engine does not have:
+
+* a worker pool (:class:`~concurrent.futures.ThreadPoolExecutor`) so
+  requests against *different* graphs run concurrently;
+* the :class:`~repro.service.session_cache.EngineSessionCache`, so requests
+  against the *same* graph reuse one warm engine (index, baseline state)
+  and serialise on its lock instead of racing;
+* per-session **memoisation** of deterministic requests: a solver that is a
+  pure function of ``(graph, request)`` (every non-``randomized`` solver,
+  and a randomized one with an explicit ``seed``) is answered from cache on
+  repeats — byte-identical by construction;
+* graph resolution with caching: dataset names resolve through the (memoised)
+  registry, file paths through the ``.npz`` SNAP pipeline with an in-process
+  cache keyed by the file's size+mtime, inline edge lists are built fresh.
+
+Determinism: a response's canonical payload (timings stripped) depends only
+on the request, never on batching, thread interleaving or cache state — the
+engine's :meth:`~repro.core.engine.SolverEngine.reset` restores everything a
+solver can observe, sessions serialise same-graph solves, and memo entries
+are only ever the canonical payload of a previous identical request.
+``tests/test_service.py`` hammers this property from many threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.engine import get_solver
+from repro.datasets import graph_fingerprint, load_dataset, load_snap
+from repro.graph.graph import Graph
+from repro.service.protocol import ServiceRequest, ServiceResponse, result_to_json
+from repro.service.session_cache import EngineSessionCache
+from repro.utils.errors import ReproError
+
+__all__ = ["SolveService"]
+
+#: Default worker-pool width.  Solves are CPU-bound pure Python, so more
+#: threads buy overlap of independent sessions (and responsiveness), not
+#: parallel speedup; a small pool keeps the GIL churn bounded.
+DEFAULT_WORKERS = 4
+
+
+class SolveService:
+    """Accepts :class:`ServiceRequest`\\ s concurrently and serves results.
+
+    Usable as a context manager::
+
+        with SolveService(workers=4, session_capacity=8) as service:
+            responses = service.solve_many(requests)
+
+    ``session_capacity`` bounds the warm-engine cache (``0`` = a cold engine
+    per request); ``memoize=False`` disables request-level memoisation
+    (session reuse still applies).
+    """
+
+    def __init__(
+        self,
+        workers: int = DEFAULT_WORKERS,
+        session_capacity: int = 8,
+        memoize: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.sessions = EngineSessionCache(session_capacity)
+        self.memoize = memoize
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-solve"
+        )
+        self._closed = False
+        # Resolved-graph caches (graph object + fingerprint): dataset names
+        # are invalidated by the graph's mutation counter, file paths by the
+        # file's (size, mtime) signature.  All three are capacity-bounded
+        # LRUs — a long-running serve fed many distinct graphs must not
+        # retain every Graph it ever resolved (the session cache already
+        # bounds the *warm* set; these only skip re-resolution).
+        self._graph_lock = threading.Lock()
+        self._resolve_capacity = 32
+        self._dataset_graphs: "OrderedDict[str, Tuple[Graph, int, str]]" = OrderedDict()
+        self._path_graphs: "OrderedDict[str, Tuple[Tuple[int, int], Graph, str]]" = (
+            OrderedDict()
+        )
+        # Inline edge lists repeat verbatim in batches; rebuilding the Graph
+        # and re-hashing it per request would tax exactly the warm path the
+        # session cache exists to make cheap.  Keyed by the edge tuple
+        # itself (equal tuples from different JSON lines hit too).
+        self._inline_graphs: "OrderedDict[Tuple, Tuple[Graph, str]]" = OrderedDict()
+        self._counters = {"requests": 0, "errors": 0, "memo_hits": 0}
+        self._counters_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, object]:
+        """Serving counters plus the session cache's hit/miss/eviction stats."""
+        with self._counters_lock:
+            snapshot: Dict[str, object] = dict(self._counters)
+        snapshot["sessions"] = self.sessions.stats()
+        return snapshot
+
+    def _count(self, key: str) -> None:
+        with self._counters_lock:
+            self._counters[key] += 1
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: ServiceRequest) -> "Future[ServiceResponse]":
+        """Enqueue one request; the future resolves to its response.
+
+        Never raises for a bad request — failures come back as ``ok=False``
+        responses, so one malformed entry cannot poison a batch.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        submitted = time.perf_counter()
+        return self._executor.submit(self._execute, request, submitted)
+
+    def submit_sequence(
+        self, requests: Sequence[ServiceRequest]
+    ) -> "Future[List[ServiceResponse]]":
+        """Enqueue a group to run *sequentially* on one worker.
+
+        The batching layer groups same-graph requests and submits each group
+        through here: the group's first request warms the session and the
+        rest hit it back-to-back, while distinct groups still spread across
+        the pool.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        submitted = time.perf_counter()
+
+        def _run() -> List[ServiceResponse]:
+            return [self._execute(request, submitted) for request in requests]
+
+        return self._executor.submit(_run)
+
+    def solve(self, request: ServiceRequest) -> ServiceResponse:
+        """Serve one request synchronously (no queueing)."""
+        return self._execute(request, time.perf_counter())
+
+    def solve_many(self, requests: Iterable[ServiceRequest]) -> List[ServiceResponse]:
+        """Serve many requests concurrently; responses keep request order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Graph resolution
+    # ------------------------------------------------------------------
+    def _resolve_graph(self, request: ServiceRequest) -> Tuple[Graph, str]:
+        """The request's graph plus its content fingerprint (both cached)."""
+        if request.dataset is not None:
+            name = request.dataset
+            graph = load_dataset(name)  # memoised by the registry
+            with self._graph_lock:
+                cached = self._dataset_graphs.get(name)
+                if (
+                    cached is not None
+                    and cached[0] is graph
+                    and cached[1] == graph._version
+                ):
+                    self._dataset_graphs.move_to_end(name)
+                    return graph, cached[2]
+            fingerprint = graph_fingerprint(graph)
+            with self._graph_lock:
+                self._dataset_graphs[name] = (graph, graph._version, fingerprint)
+                self._trim(self._dataset_graphs)
+            return graph, fingerprint
+        if request.edge_list is not None:
+            path = Path(request.edge_list)
+            try:
+                stat = path.stat()
+            except OSError as exc:
+                raise ReproError(f"edge-list file not found: {path}") from exc
+            signature = (stat.st_size, stat.st_mtime_ns)
+            key = str(path)
+            with self._graph_lock:
+                cached_entry = self._path_graphs.get(key)
+                if cached_entry is not None and cached_entry[0] == signature:
+                    self._path_graphs.move_to_end(key)
+                    return cached_entry[1], cached_entry[2]
+            graph = load_snap(path)  # .npz pipeline
+            fingerprint = graph_fingerprint(graph)
+            with self._graph_lock:
+                self._path_graphs[key] = (signature, graph, fingerprint)
+                self._trim(self._path_graphs)
+            return graph, fingerprint
+        assert request.edges is not None
+        try:
+            with self._graph_lock:
+                cached_inline = self._inline_graphs.get(request.edges)
+                if cached_inline is not None:
+                    self._inline_graphs.move_to_end(request.edges)
+                    return cached_inline
+        except TypeError:
+            cached_inline = None  # unhashable vertex labels: build fresh
+        graph = Graph.from_edges(request.edges)
+        fingerprint = graph_fingerprint(graph)
+        try:
+            with self._graph_lock:
+                self._inline_graphs[request.edges] = (graph, fingerprint)
+                self._trim(self._inline_graphs)
+        except TypeError:
+            pass
+        return graph, fingerprint
+
+    def _trim(self, cache: "OrderedDict") -> None:
+        """Drop LRU resolution entries beyond the capacity (lock held)."""
+        while len(cache) > self._resolve_capacity:
+            cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _memo_signature(request: ServiceRequest) -> Hashable:
+        return (
+            request.algorithm,
+            request.budget,
+            json.dumps(dict(request.params), sort_keys=True, default=repr),
+            request.initial_anchors,
+        )
+
+    @staticmethod
+    def _memoizable(request: ServiceRequest) -> bool:
+        """Deterministic requests only: a memo answer must equal a re-run."""
+        spec = get_solver(request.algorithm)
+        return (not spec.randomized) or ("seed" in request.params)
+
+    def _execute(self, request: ServiceRequest, submitted: float) -> ServiceResponse:
+        started = time.perf_counter()
+        self._count("requests")
+        try:
+            graph, fingerprint = self._resolve_graph(request)
+            engine_options = dict(request.engine)
+            key = (fingerprint, request.engine_key())
+            session, status = self.sessions.acquire(key, graph, engine_options)
+            memo_ok = self.memoize and self._memoizable(request)
+            signature = self._memo_signature(request) if memo_ok else None
+            with session.lock:
+                payload = session.memo_get(signature) if memo_ok else None
+                memo_hit = payload is not None
+                if payload is None:
+                    result = session.engine.solve(
+                        request.algorithm,
+                        request.budget,
+                        initial_anchors=request.initial_anchors,
+                        **dict(request.params),
+                    )
+                    payload = result_to_json(result)
+                    if memo_ok:
+                        session.memo_put(signature, payload)
+                session_info = session.engine.session_info()
+            if memo_hit:
+                self._count("memo_hits")
+            finished = time.perf_counter()
+            return ServiceResponse(
+                request_id=request.request_id,
+                ok=True,
+                result=payload,
+                fingerprint=fingerprint,
+                cache={
+                    "session": status,
+                    "memo": memo_hit,
+                    "engine_solve_count": session_info["solve_count"],
+                },
+                timings={
+                    "queued_s": round(started - submitted, 6),
+                    "solve_s": round(finished - started, 6),
+                },
+            )
+        except ReproError as exc:
+            self._count("errors")
+            return ServiceResponse(
+                request_id=request.request_id,
+                ok=False,
+                error=str(exc),
+                timings={
+                    "queued_s": round(started - submitted, 6),
+                    "solve_s": round(time.perf_counter() - started, 6),
+                },
+            )
+        except Exception as exc:  # noqa: BLE001 - serving boundary
+            # The contract is "never raises for a bad request": anything a
+            # hand-crafted request can still trigger past the protocol
+            # validation (wrong-typed field values, exotic vertex labels)
+            # must come back as a failed response, not kill the loop.
+            self._count("errors")
+            return ServiceResponse(
+                request_id=request.request_id,
+                ok=False,
+                error=f"internal error: {type(exc).__name__}: {exc}",
+                timings={
+                    "queued_s": round(started - submitted, 6),
+                    "solve_s": round(time.perf_counter() - started, 6),
+                },
+            )

@@ -1,0 +1,164 @@
+"""The engine-session cache: warm :class:`SolverEngine`\\ s keyed by graph.
+
+Building a session is the expensive part of serving a solve request: the
+frozen :class:`~repro.graph.index.GraphIndex` (triangle enumeration), the
+anchor-free baseline decomposition and — for tree-using solvers — the
+component tree all have to exist before round one.  The cache keeps the
+most-recently-used sessions alive so repeated requests against the same
+graph skip straight to the solve; this amortises exactly the cold-index
+cost the kernel benchmarks flag (``BENCH_kernel.json`` ``decomposition``
+``cold`` rows).
+
+Keys and collisions
+-------------------
+A session key is ``(graph fingerprint, engine options)`` — see
+:func:`~repro.datasets.graph_fingerprint`.  Fingerprints are content
+hashes, so a collision (two different graphs, one key) is astronomically
+unlikely but *checked anyway*: every hit verifies the cached graph against
+the requested one (an ``is`` check in the common case — dataset loaders
+memoise their graphs — and a structural comparison otherwise).  A mismatch
+is served through a fresh uncached session (``"bypass"``), never through
+the colliding one, so a collision can cost warmth but never correctness.
+
+Concurrency
+-----------
+The cache itself is guarded by one lock held only for dictionary
+operations (graph/engine construction happens outside it).  Each session
+carries its own lock; :class:`~repro.service.scheduler.SolveService` holds
+it for the duration of a solve, so concurrent requests against the same
+graph serialise on the session while requests against different graphs
+proceed in parallel.  Eviction simply drops the cache's reference — an
+in-flight solve keeps its session alive until it finishes.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.engine import SolverEngine
+from repro.graph.graph import Graph
+
+__all__ = ["EngineSession", "EngineSessionCache"]
+
+#: Entries kept in a session's memo before it is cleared wholesale (a memo
+#: is a per-session convenience, not a second cache layer to tune).
+MEMO_LIMIT = 128
+
+
+class EngineSession:
+    """One warm engine bound to one graph, plus its serving bookkeeping."""
+
+    def __init__(self, key: Hashable, graph: Graph, engine: SolverEngine) -> None:
+        self.key = key
+        self.graph = graph
+        self.engine = engine
+        #: Serialises solves on this session (the engine is not thread-safe).
+        self.lock = threading.Lock()
+        #: Memoised canonical results of deterministic requests, keyed by the
+        #: scheduler's request signature.
+        self.memo: "OrderedDict[Hashable, dict]" = OrderedDict()
+        self.memo_hits = 0
+
+    def memo_get(self, signature: Hashable) -> Optional[dict]:
+        payload = self.memo.get(signature)
+        if payload is None:
+            return None
+        self.memo.move_to_end(signature)
+        self.memo_hits += 1
+        # Hand out a copy: response consumers may mutate their payload, and
+        # the memo must keep serving the pristine original.
+        return copy.deepcopy(payload)
+
+    def memo_put(self, signature: Hashable, payload: dict) -> None:
+        self.memo[signature] = copy.deepcopy(payload)
+        while len(self.memo) > MEMO_LIMIT:
+            self.memo.popitem(last=False)
+
+
+class EngineSessionCache:
+    """LRU cache of :class:`EngineSession`\\ s (thread-safe).
+
+    ``capacity`` bounds the number of warm sessions (each pins a graph, its
+    index and a baseline decomposition in memory); ``0`` disables caching —
+    every request gets a fresh session, which is the benchmark's "cold"
+    configuration.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._sessions: "OrderedDict[Hashable, EngineSession]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "collisions": 0,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the hit/miss/eviction/collision counters."""
+        with self._lock:
+            snapshot = dict(self._stats)
+            snapshot["size"] = len(self._sessions)
+            snapshot["capacity"] = self.capacity
+            return snapshot
+
+    def acquire(
+        self,
+        key: Hashable,
+        graph: Graph,
+        engine_options: Dict[str, object],
+    ) -> Tuple[EngineSession, str]:
+        """Return a session for ``(key, graph)`` and how it was obtained.
+
+        The status is ``"hit"`` (cached session reused), ``"miss"`` (session
+        built and cached) or ``"bypass"`` (fingerprint collision or zero
+        capacity: a fresh session that is *not* cached).  The caller must
+        take ``session.lock`` before touching ``session.engine``.
+        """
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                if session.graph is graph or session.graph == graph:
+                    self._sessions.move_to_end(key)
+                    self._stats["hits"] += 1
+                    return session, "hit"
+                # Same key, different graph: a fingerprint collision.  Serve
+                # correctness through a fresh uncached session (built below).
+                self._stats["collisions"] += 1
+                collided = True
+            else:
+                collided = False
+                self._stats["misses"] += 1
+
+        # Build outside the cache lock: engine construction (index build) is
+        # the expensive part and must not serialise unrelated requests.
+        session = EngineSession(key, graph, SolverEngine(graph, **engine_options))  # type: ignore[arg-type]
+        if collided or self.capacity == 0:
+            return session, "bypass"
+
+        with self._lock:
+            existing = self._sessions.get(key)
+            if existing is not None:
+                if existing.graph is graph or existing.graph == graph:
+                    # Another thread built the same session first; use theirs
+                    # (one session per graph keeps same-graph requests
+                    # serialised on one engine).
+                    self._sessions.move_to_end(key)
+                    return existing, "miss"
+                self._stats["collisions"] += 1
+                return session, "bypass"
+            self._sessions[key] = session
+            while len(self._sessions) > self.capacity:
+                self._sessions.popitem(last=False)
+                self._stats["evictions"] += 1
+        return session, "miss"

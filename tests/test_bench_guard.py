@@ -91,3 +91,44 @@ class TestWriteReport:
         assert data["engine_v2"]["summary"]["meets_gas_target"] is True
         assert data["engine_v2"]["summary"]["base_at_parity"] is True
         assert data["engine_v2"]["summary"]["exact_at_parity"] is True
+
+
+class TestServiceSection:
+    """PR 4's 'service' section plays by the same append-only rules."""
+
+    def test_service_section_appends(self, tmp_path):
+        output = tmp_path / "bench.json"
+        write_report(output, {"engine_v2": {"v": 1}, "summary": {"a": 1}}, force=False)
+        write_report(
+            output,
+            {"service": {"workloads": {}}, "summary": {"meets_service_warm_target": True}},
+            force=False,
+        )
+        data = json.loads(output.read_text(encoding="utf-8"))
+        assert data["engine_v2"] == {"v": 1}
+        assert data["service"] == {"workloads": {}}
+        assert data["summary"] == {"a": 1, "meets_service_warm_target": True}
+
+    def test_service_section_refuses_overwrite(self, tmp_path):
+        output = tmp_path / "bench.json"
+        write_report(output, {"service": {"v": 1}}, force=False)
+        with pytest.raises(SectionExistsError):
+            write_report(output, {"service": {"v": 2}}, force=False)
+        assert json.loads(output.read_text(encoding="utf-8"))["service"] == {"v": 1}
+
+    def test_repo_trajectory_has_the_service_section(self):
+        data = json.loads(
+            (REPO_ROOT / "BENCH_kernel.json").read_text(encoding="utf-8")
+        )
+        assert {"decomposition", "followers", "gas", "engine", "engine_v2", "service"} <= set(data)
+        service = data["service"]["summary"]
+        assert service["meets_warm_target"] is True
+        assert service["warm_vs_cold_speedup_min"] >= 3.0
+        assert service["determinism_identical"] is True
+        assert data["service"]["paper_budget"]["budget"] == 100
+        assert data["summary"]["meets_service_warm_target"] is True
+
+    def test_every_registered_solver_has_a_determinism_row(self):
+        from repro.core.engine import available_solvers
+
+        assert set(available_solvers()) <= set(bench_kernel.SERVICE_DETERMINISM)

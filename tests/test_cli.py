@@ -95,3 +95,92 @@ class TestReport:
         output = capsys.readouterr().out
         assert "ATR experiment report" in output
         assert "Table IV" in output
+
+
+class TestServe:
+    def _serve(self, monkeypatch, capsys, lines, argv=()):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        rc = main(["serve", *argv])
+        return rc, [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+
+    def test_serve_loop_responds_in_input_order(self, monkeypatch, capsys):
+        request = {"dataset": "college", "algorithm": "gas", "budget": 1}
+        # One worker: the identical requests run strictly in sequence, so
+        # the second is guaranteed to find the first's memo entry (with more
+        # workers they may legitimately race past it).
+        rc, responses = self._serve(
+            monkeypatch,
+            capsys,
+            [
+                "# comment",
+                json.dumps({"id": "a", **request}),
+                json.dumps({"id": "b", **request}),
+            ],
+            argv=["--workers", "1"],
+        )
+        assert rc == 0
+        assert [r["id"] for r in responses] == ["a", "b"]
+        assert all(r["ok"] for r in responses)
+        # the repeated request was answered from the warm session's memo
+        assert responses[1]["cache"]["memo"] is True
+        assert responses[0]["result"] == responses[1]["result"]
+
+    def test_serve_reports_malformed_lines_in_place(self, monkeypatch, capsys):
+        rc, responses = self._serve(
+            monkeypatch,
+            capsys,
+            [
+                json.dumps({"id": "ok", "dataset": "college", "budget": 1}),
+                "{broken",
+            ],
+        )
+        assert rc == 0
+        assert [r["id"] for r in responses] == ["ok", "line-2"]
+        assert [r["ok"] for r in responses] == [True, False]
+        assert "invalid JSON" in responses[1]["error"]
+
+
+class TestBatch:
+    def test_batch_roundtrip(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                json.dumps(
+                    {"id": f"r{i}", "dataset": "college", "algorithm": "gas", "budget": 1}
+                )
+                for i in range(3)
+            )
+            + "\n"
+        )
+        output = tmp_path / "responses.jsonl"
+        assert main(["batch", str(requests), "--output", str(output)]) == 0
+        responses = [json.loads(line) for line in output.read_text().splitlines()]
+        assert [r["id"] for r in responses] == ["r0", "r1", "r2"]
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["result"] == responses[2]["result"]
+        stdout = capsys.readouterr().out
+        assert "3/3 ok" in stdout
+
+    def test_batch_exit_code_reflects_errors(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"id": "good", "dataset": "college", "budget": 1})
+            + "\n"
+            + json.dumps({"id": "bad", "dataset": "college", "algorithm": "nope"})
+            + "\n"
+        )
+        output = tmp_path / "responses.jsonl"
+        assert main(["batch", str(requests), "--output", str(output)]) == 1
+        responses = [json.loads(line) for line in output.read_text().splitlines()]
+        assert [r["ok"] for r in responses] == [True, False]
+
+    def test_batch_default_output_path(self, tmp_path, capsys, monkeypatch):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"id": "r", "dataset": "college", "budget": 1}) + "\n"
+        )
+        assert main(["batch", str(requests)]) == 0
+        assert (tmp_path / "requests.jsonl.results.jsonl").exists()

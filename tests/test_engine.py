@@ -357,3 +357,61 @@ class TestEngineDiagnostics:
         result = base_greedy(two_communities, 2)
         stats = result.extra["engine"]
         assert stats["incremental_gain_evals"] + stats["full_gain_evals"] > 0
+
+
+class TestSessionReuse:
+    """A cached (warm) engine must be indistinguishable from a fresh one."""
+
+    def test_back_to_back_solves_equal_fresh_solves(self, two_communities):
+        engine = SolverEngine(two_communities)
+        for algorithm, budget, params in (
+            ("gas", 3, {}),
+            ("base", 2, {}),
+            ("base+", 2, {}),
+            ("sup", 2, {"seed": 4, "repetitions": 5}),
+        ):
+            warm = engine.solve(algorithm, budget, **params)
+            fresh = SolverEngine(two_communities).solve(algorithm, budget, **params)
+            assert warm.anchors == fresh.anchors
+            assert warm.gain == fresh.gain
+            assert warm.per_round_gain == fresh.per_round_gain
+            assert warm.followers == fresh.followers
+
+    def test_reset_restores_per_solve_stats(self, two_communities):
+        """The session-reuse fix: extra['engine'] must not leak across solves."""
+        engine = SolverEngine(two_communities)
+        first = engine.solve("gas", 3)
+        second = engine.solve("gas", 3)
+        fresh = SolverEngine(two_communities).solve("gas", 3)
+        assert first.extra["engine"] == second.extra["engine"] == fresh.extra["engine"]
+
+    def test_reset_restores_original_state_exactly(self, two_communities):
+        engine = SolverEngine(two_communities)
+        baseline = engine.original_state
+        before = dict(baseline.decomposition.trussness)
+        engine.solve("gas", 3)
+        engine.solve("base", 2)
+        assert engine.original_state is baseline
+        assert dict(baseline.decomposition.trussness) == before
+        # the chain holds only the last solve's anchors, not an accumulation
+        assert len(engine.anchors) == 2
+
+    def test_lifetime_stats_accumulate(self, two_communities):
+        engine = SolverEngine(two_communities)
+        first = engine.solve("gas", 2)
+        second = engine.solve("gas", 2)
+        info = engine.session_info()
+        assert info["solve_count"] == 2
+        stats_sum = {
+            key: first.extra["engine"][key] + second.extra["engine"][key]
+            for key in first.extra["engine"]
+        }
+        assert info["lifetime_stats"] == stats_sum
+        assert info["num_edges"] == two_communities.num_edges
+
+    def test_mixed_solvers_on_one_session(self, two_communities):
+        engine = SolverEngine(two_communities)
+        gas_result = engine.solve("gas", 2)
+        base_result = engine.solve("base", 2)
+        assert gas_result.anchors == base_result.anchors  # equivalence holds warm
+        assert engine.solve("rand", 2, seed=7, repetitions=5).gain >= 0

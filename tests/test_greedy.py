@@ -91,3 +91,53 @@ class TestSolverEquivalence:
         b = base_plus_greedy(two_communities, 3, method=FollowerMethod.SUPPORT_CHECK)
         assert a.anchors == b.anchors
         assert a.gain == b.gain
+
+
+class TestCandidatePoolNarrowing:
+    """BASE's reuse-narrowed candidate pool vs the full-scan reference twin."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_identical_anchors_and_gains_on_random_graphs(self, seed):
+        graph = random_test_graph(seed, min_n=14, max_n=22)
+        reuse = base_greedy(graph, 4)
+        scan = base_greedy(graph, 4, candidate_pool="scan")
+        assert reuse.anchors == scan.anchors
+        assert reuse.gain == scan.gain
+        assert reuse.per_round_gain == scan.per_round_gain
+        assert reuse.followers == scan.followers
+
+    def test_identical_on_structured_graphs(self):
+        for graph in (
+            community_graph([12, 10], p_in=0.7, p_out=0.05, seed=5),
+            overlapping_cliques_graph(4, 6, 2, noise_edges=8, seed=6),
+        ):
+            reuse = base_greedy(graph, 3)
+            scan = base_greedy(graph, 3, candidate_pool="scan")
+            assert reuse.anchors == scan.anchors
+            assert reuse.per_round_gain == scan.per_round_gain
+
+    def test_narrowing_skips_clean_candidates(self):
+        # A graph whose commits stay on the incremental path (the dirty
+        # closure is small), so the narrowed pool actually engages; on dense
+        # graphs the full-peel fallback degrades to the full scan, which the
+        # equivalence tests above cover.
+        graph = community_graph([14, 12, 10], p_in=0.6, p_out=0.05, seed=1)
+        reuse = base_greedy(graph, 4)
+        scan = base_greedy(graph, 4, candidate_pool="scan")
+        evals = lambda result: (
+            result.extra["engine"]["incremental_gain_evals"]
+            + result.extra["engine"]["full_gain_evals"]
+        )
+        assert evals(reuse) < evals(scan)
+
+    def test_agrees_with_gas_and_base_plus(self):
+        graph = community_graph([12, 10], p_in=0.6, p_out=0.05, seed=8)
+        assert (
+            base_greedy(graph, 3).anchors
+            == base_plus_greedy(graph, 3).anchors
+            == gas(graph, 3).anchors
+        )
+
+    def test_unknown_pool_rejected(self, two_communities):
+        with pytest.raises(InvalidParameterError):
+            base_greedy(two_communities, 2, candidate_pool="psychic")
