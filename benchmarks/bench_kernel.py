@@ -26,15 +26,23 @@ Two generations of the same harness write into ``BENCH_kernel.json``:
   throughput on the Fig. 9 stand-ins), asserts batched results are
   byte-identical to single-shot solves for **every** registered solver, and
   records the ROADMAP's paper-budget (b=100) heap-vs-scan GAS row on the
-  largest stand-in loaded through the on-disk SNAP pipeline.
+  largest stand-in loaded through the on-disk SNAP pipeline;
+* the **``api`` section** (PR 5) covers the ``repro.api`` v1 redesign: a
+  byte-identity grid of every registered solver across {old
+  ``SolveRequest`` path, ``repro.api``} x {thread, process} executors x
+  {stdio, tcp} transports, the process-pool vs thread-pool wall clock on a
+  4-graph Fig. 9 stand-in workload (target: >= 1.8x given >= 2 cores;
+  ``cpu_count`` is recorded so 1-core boxes read honestly), and the GAS
+  warm-path win from the persisted baseline follower cache.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--full] [--smoke]
-        [--engine-only] [--engine-v2-only] [--service-only] [--force]
-        [--output PATH]
+        [--engine-only] [--engine-v2-only] [--service-only] [--api-only]
+        [--force] [--output PATH]
 
-``--engine-only`` / ``--engine-v2-only`` / ``--service-only`` recompute
+``--engine-only`` / ``--engine-v2-only`` / ``--service-only`` /
+``--api-only`` recompute
 just that section and
 merge it into the existing output file.  Sections already present in the
 output are **never overwritten** unless ``--force`` is given (the ROADMAP's
@@ -677,6 +685,264 @@ def merge_service_summary(report: Dict[str, object]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# PR 5: repro.api v1 — executor/transport identity grid, process-pool
+# parallelism, and the GAS warm-path win
+# ---------------------------------------------------------------------------
+def bench_api_identity_grid(exact_graph: Graph) -> Dict[str, object]:
+    """Canonical byte-identity of every solver across every execution path.
+
+    For each registered solver the same canonical spec runs through: the old
+    ``SolveRequest`` solver-fn path (deprecation shim), ``repro.api.solve``,
+    a thread-executor service, a process-executor service, the stdio
+    transport and the TCP transport.  All six canonical payloads must be
+    byte-identical — the acceptance grid of the ``repro.api`` redesign.
+    """
+    import io
+    import warnings
+
+    import repro.api as api
+    from repro.api import SolveSpec, canonical_result
+    from repro.core.engine import SolveRequest, SolverEngine, available_solvers, get_solver
+    from repro.service import (
+        SolveService,
+        StdioTransport,
+        TcpTransport,
+        request_lines_over_tcp,
+    )
+
+    missing = set(available_solvers()) - set(SERVICE_DETERMINISM)
+    if missing:  # pragma: no cover - trips when a solver gains no row
+        raise AssertionError(
+            f"no identity row for registered solver(s): {sorted(missing)}; "
+            "extend SERVICE_DETERMINISM"
+        )
+    college = load_dataset("college")
+    paths = ("solve_request", "api", "thread", "process", "stdio", "tcp")
+    rows: Dict[str, Dict[str, bool]] = {}
+
+    with SolveService(workers=2, executor="thread") as thread_service, SolveService(
+        workers=2, executor="process"
+    ) as process_service:
+        tcp = TcpTransport(port=0)
+        host, port = tcp.start(thread_service)
+        for solver_name in available_solvers():
+            source, budget, params = SERVICE_DETERMINISM[solver_name]
+            graph = exact_graph if source == "exact" else college
+            spec = SolveSpec(
+                request_id=f"grid/{solver_name}",
+                edges=tuple(graph.edge_list()),
+                algorithm=solver_name,
+                budget=budget,
+                params=dict(params),
+            )
+            # 1. the deprecated SolveRequest path, driven like pre-v1 code did
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                request = SolveRequest(budget=budget, params=dict(params))
+            engine = SolverEngine(graph)
+            engine.reset(request.initial_anchors)
+            engine.solve_count += 1
+            old_result = get_solver(solver_name).fn(engine, request)
+            payloads = {
+                "solve_request": canonical_result(result_to_json_payload(old_result))
+            }
+            # 2. the canonical one-shot
+            payloads["api"] = canonical_result(api.solve(spec).result)
+            # 3./4. both executors
+            payloads["thread"] = canonical_result(thread_service.solve(spec).result)
+            payloads["process"] = canonical_result(process_service.solve(spec).result)
+            # 5. stdio transport
+            stdout = io.StringIO()
+            StdioTransport(
+                stdin=io.StringIO(json.dumps(spec.to_json_dict()) + "\n"),
+                stdout=stdout,
+            ).serve(thread_service)
+            payloads["stdio"] = canonical_result(
+                json.loads(stdout.getvalue())["result"]
+            )
+            # 6. tcp transport
+            (line,) = request_lines_over_tcp(
+                host, port, [json.dumps(spec.to_json_dict())]
+            )
+            payloads["tcp"] = canonical_result(json.loads(line)["result"])
+
+            expected = json.dumps(payloads["solve_request"], sort_keys=True)
+            row = {
+                path: json.dumps(payloads[path], sort_keys=True) == expected
+                for path in paths
+            }
+            if not all(row.values()):  # pragma: no cover
+                raise AssertionError(
+                    f"identity grid diverged for {solver_name}: "
+                    f"{[path for path, ok in row.items() if not ok]}"
+                )
+            rows[solver_name] = row
+        tcp.close()
+    return {
+        "paths": list(paths),
+        "solvers": rows,
+        "identical": all(all(row.values()) for row in rows.values()),
+    }
+
+
+def bench_api_executors(
+    workload_graphs: Dict[str, Graph], budget: int, workers: int
+) -> Dict[str, object]:
+    """Process-executor vs thread-executor wall clock on a multi-graph batch.
+
+    One GAS request per distinct graph: the thread executor overlaps them
+    under one GIL, the process executor runs them on separate cores.  Both
+    sides serve the identical batch through fresh, memo-free services and
+    must agree canonically on every outcome.  The >= 1.8x target needs real
+    cores — ``cpu_count`` is recorded so a 1-core CI box reading ~1.0x is
+    interpretable.
+    """
+    import os
+
+    from repro.api import SolveSpec, canonical_result
+    from repro.service import SolveService
+
+    specs = [
+        SolveSpec(
+            request_id=name,
+            edges=tuple(graph.edge_list()),
+            algorithm="gas",
+            budget=budget,
+        )
+        for name, graph in workload_graphs.items()
+    ]
+    with SolveService(workers=workers, memoize=False) as thread_service:
+        thread_start = time.perf_counter()
+        thread_outcomes = thread_service.solve_many(specs)
+        thread_s = time.perf_counter() - thread_start
+    with SolveService(
+        workers=workers, memoize=False, executor="process"
+    ) as process_service:
+        process_start = time.perf_counter()
+        process_outcomes = process_service.solve_many(specs)
+        process_s = time.perf_counter() - process_start
+    for thread_outcome, process_outcome in zip(thread_outcomes, process_outcomes):
+        if (
+            not thread_outcome.ok
+            or canonical_result(thread_outcome.result)
+            != canonical_result(process_outcome.result)
+        ):  # pragma: no cover
+            raise AssertionError(
+                f"executors diverged on {thread_outcome.request_id}"
+            )
+    return {
+        "graphs": {
+            name: {"vertices": g.num_vertices, "edges": g.num_edges}
+            for name, g in workload_graphs.items()
+        },
+        "budget": budget,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "thread_s": round(thread_s, 4),
+        "process_s": round(process_s, 4),
+        "speedup": round(thread_s / process_s, 2),
+    }
+
+
+def bench_api_gas_warm_path(name: str, graph: Graph, budget: int) -> Dict[str, object]:
+    """The ROADMAP PR 4 follow-up: GAS's first round on a warm session.
+
+    A session's first GAS solve snapshots the baseline follower cache;
+    every later unanchored solve restores it, so round one recomputes zero
+    candidate followers.  Measures cold vs warm end-to-end on one engine
+    and records the recompute counts that prove the mechanism.
+    """
+    from repro.core.engine import SolverEngine
+
+    GraphIndex.of(graph)
+    engine = SolverEngine(graph)
+    cold_start = time.perf_counter()
+    cold = engine.solve("gas", budget)
+    cold_s = time.perf_counter() - cold_start
+    warm_s = math.inf
+    for _ in range(3):
+        warm_start = time.perf_counter()
+        warm = engine.solve("gas", budget)
+        warm_s = min(warm_s, time.perf_counter() - warm_start)
+    if warm.anchors != cold.anchors:  # pragma: no cover
+        raise AssertionError(f"warm GAS diverged from cold GAS on {name}")
+    return {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "budget": budget,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 2),
+        "cold_round1_recomputes": cold.extra["recomputed_entries_per_round"][0],
+        "warm_round1_recomputes": warm.extra["recomputed_entries_per_round"][0],
+    }
+
+
+def run_api_section(
+    executor_graphs: Dict[str, Graph],
+    warm_graphs: Dict[str, Graph],
+    exact_graph: Graph,
+    executor_budget: int,
+    warm_budget: int,
+    workers: int,
+) -> Dict[str, object]:
+    section: Dict[str, object] = {
+        "description": "repro.api v1: canonical byte-identity of every solver "
+        "across {old SolveRequest path, repro.api} x {thread, process} "
+        "executors x {stdio, tcp} transports; process-pool vs thread-pool "
+        "wall clock on a multi-graph batch (needs >= 2 cores to show "
+        "parallelism); GAS warm-path win from the persisted baseline "
+        "follower cache",
+        "targets": {"process_vs_thread": 1.8, "gas_warm_path": 1.0},
+    }
+    print("== api: identity grid (paths x solvers) ==")
+    section["identity_grid"] = bench_api_identity_grid(exact_graph)
+    print(f"identical across {section['identity_grid']['paths']}: "
+          f"{sorted(section['identity_grid']['solvers'])}")
+    print("== api: process vs thread executor (multi-graph batch) ==")
+    entry = bench_api_executors(executor_graphs, executor_budget, workers)
+    section["executors"] = entry
+    print(
+        f"{len(executor_graphs)} graphs  {entry['speedup']:>7.2f}x  "
+        f"(thread {entry['thread_s']}s -> process {entry['process_s']}s, "
+        f"{entry['cpu_count']} cpu(s))"
+    )
+    print("== api: GAS warm path (persisted baseline followers) ==")
+    section["gas_warm_path"] = {}
+    for name, graph in warm_graphs.items():
+        entry = bench_api_gas_warm_path(name, graph, warm_budget)
+        section["gas_warm_path"][name] = entry
+        print(
+            f"{name:>14}  {entry['speedup']:>7.2f}x  "
+            f"({entry['cold_s']}s -> {entry['warm_s']}s, round-1 recomputes "
+            f"{entry['cold_round1_recomputes']} -> {entry['warm_round1_recomputes']})"
+        )
+    warm_min = min(entry["speedup"] for entry in section["gas_warm_path"].values())
+    section["summary"] = {
+        "identity_grid_identical": section["identity_grid"]["identical"],
+        "process_vs_thread_speedup": section["executors"]["speedup"],
+        "cpu_count": section["executors"]["cpu_count"],
+        "meets_process_target": section["executors"]["speedup"] >= 1.8,
+        "gas_warm_path_speedup_min": warm_min,
+        "gas_warm_round1_recomputes": max(
+            entry["warm_round1_recomputes"]
+            for entry in section["gas_warm_path"].values()
+        ),
+    }
+    return section
+
+
+def merge_api_summary(report: Dict[str, object]) -> None:
+    """Propagate the api summary into the top-level summary."""
+    api_summary = report["api"]["summary"]
+    summary = report.setdefault("summary", {})
+    summary["api_identity_grid_identical"] = api_summary["identity_grid_identical"]
+    summary["api_process_vs_thread_speedup"] = api_summary["process_vs_thread_speedup"]
+    summary["api_meets_process_target"] = api_summary["meets_process_target"]
+    summary["api_gas_warm_path_speedup_min"] = api_summary["gas_warm_path_speedup_min"]
+
+
+# ---------------------------------------------------------------------------
 # Append-only output handling (the ROADMAP trajectory rule)
 # ---------------------------------------------------------------------------
 class SectionExistsError(RuntimeError):
@@ -760,6 +1026,17 @@ def main(argv: List[str] | None = None) -> int:
         "append it to the existing output file",
     )
     parser.add_argument(
+        "--api-only",
+        action="store_true",
+        help="recompute only the 'api' section (PR 5: executor/transport "
+        "identity grid, process-pool parallelism, GAS warm path) and append "
+        "it to the existing output file",
+    )
+    parser.add_argument(
+        "--api-workers", type=int, default=4,
+        help="worker count for the api section's thread-vs-process comparison",
+    )
+    parser.add_argument(
         "--paper-budget", type=int, default=100,
         help="GAS budget for the service section's paper-scale heap-vs-scan "
         "row (the paper's experiments use b=100)",
@@ -823,6 +1100,12 @@ def main(argv: List[str] | None = None) -> int:
         }
         service_graphs = {"college": load_dataset("college")}
         paper_dataset, paper_budget = "college", min(args.paper_budget, 10)
+        api_executor_graphs = {
+            "college": load_dataset("college"),
+            "facebook": load_dataset("facebook"),
+        }
+        api_warm_graphs = {"college": load_dataset("college")}
+        api_executor_budget, api_warm_budget = 1, 2
     else:
         decomposition_datasets = ["patents", "pokec"] if args.full else ["patents"]
         follower_datasets = ["college", "facebook"]
@@ -846,6 +1129,21 @@ def main(argv: List[str] | None = None) -> int:
         service_graphs = dict(engine_gas_graphs)
         # Paper-budget row: the largest stand-in the pipeline can load.
         paper_dataset, paper_budget = "pokec", args.paper_budget
+        # The api section's 4-graph Fig. 9 stand-in workload: distinct
+        # graphs, so the process pool has genuine cross-graph parallelism
+        # to exploit (patents and pokec at two sampling rates each).
+        pokec = load_dataset("pokec")
+        api_executor_graphs = {
+            "patents@0.5": sample_edges(patents, 0.5, seed=SAMPLING_SEED),
+            "patents@1.0": patents,
+            "pokec@0.5": sample_edges(pokec, 0.5, seed=SAMPLING_SEED),
+            "pokec@1.0": pokec,
+        }
+        api_warm_graphs = {
+            "patents@0.5": api_executor_graphs["patents@0.5"],
+            "pokec@0.5": api_executor_graphs["pokec@0.5"],
+        }
+        api_executor_budget, api_warm_budget = 2, 5
 
     try:
         if args.engine_only:
@@ -892,6 +1190,23 @@ def main(argv: List[str] | None = None) -> int:
             report = write_report(args.output, report, args.force)
             print(f"\nwrote {args.output} (service section only)")
             print(json.dumps(report["service"]["summary"], indent=2))
+            return 0
+
+        if args.api_only:
+            report = {
+                "api": run_api_section(
+                    api_executor_graphs,
+                    api_warm_graphs,
+                    exact_graphs["facebook-ego"],
+                    api_executor_budget,
+                    api_warm_budget,
+                    args.api_workers,
+                )
+            }
+            merge_api_summary(report)
+            report = write_report(args.output, report, args.force)
+            print(f"\nwrote {args.output} (api section only)")
+            print(json.dumps(report["api"]["summary"], indent=2))
             return 0
     except SectionExistsError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -955,6 +1270,14 @@ def main(argv: List[str] | None = None) -> int:
         paper_dataset,
         paper_budget,
     )
+    report["api"] = run_api_section(
+        api_executor_graphs,
+        api_warm_graphs,
+        exact_graphs["facebook-ego"],
+        api_executor_budget,
+        api_warm_budget,
+        args.api_workers,
+    )
 
     decomposition_speedup = min(
         entry["anchored_sequence"]["speedup"] for entry in report["decomposition"].values()
@@ -975,6 +1298,7 @@ def main(argv: List[str] | None = None) -> int:
     merge_engine_summary(report)
     merge_engine_v2_summary(report)
     merge_service_summary(report)
+    merge_api_summary(report)
 
     try:
         report = write_report(args.output, report, args.force)

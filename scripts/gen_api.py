@@ -24,6 +24,9 @@ from typing import List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api import resolve as api_resolve  # noqa: E402
+from repro.api import session as api_session  # noqa: E402
+from repro.api import spec as api_spec  # noqa: E402
 from repro.core import component_tree, engine, result, reuse  # noqa: E402
 from repro.datasets import registry as datasets_registry  # noqa: E402
 from repro.datasets import snap as datasets_snap  # noqa: E402
@@ -31,13 +34,20 @@ from repro.graph import graph as graph_module  # noqa: E402
 from repro.graph import index as index_module  # noqa: E402
 from repro.service import batching as service_batching  # noqa: E402
 from repro.service import protocol as service_protocol  # noqa: E402
+from repro.service import result_store as service_result_store  # noqa: E402
 from repro.service import scheduler as service_scheduler  # noqa: E402
 from repro.service import session_cache as service_session_cache  # noqa: E402
+from repro.service import transports as service_transports  # noqa: E402
 from repro.truss import state as state_module  # noqa: E402
 
 #: (section title, module, [object names]) — the public surface, in reading
 #: order.  Add a name here when a new object becomes part of the public API.
 API_SURFACE = [
+    (
+        "Public API (`repro.api`)",
+        None,
+        [],
+    ),
     (
         "Solver engine and registry (`repro.core.engine`)",
         engine,
@@ -92,16 +102,25 @@ GRAPH_SURFACE = [
     (state_module, ["TrussState"]),
 ]
 
+API_MODULE_SURFACE = [
+    (api_spec, ["SolveSpec", "SolveOutcome", "canonical_result", "result_to_json"]),
+    (api_session, ["Session", "solve", "memoizable"]),
+    (api_resolve, ["GraphResolver", "resolve_graph"]),
+]
+
 SERVICE_SURFACE = [
     (service_scheduler, ["SolveService"]),
     (service_session_cache, ["EngineSessionCache", "EngineSession"]),
+    (service_result_store, ["ResultStore"]),
+    (
+        service_transports,
+        ["Transport", "StdioTransport", "TcpTransport", "serve_stream"],
+    ),
     (
         service_protocol,
         [
             "ServiceRequest",
             "ServiceResponse",
-            "result_to_json",
-            "canonical_result",
             "parse_request_line",
         ],
     ),
@@ -127,14 +146,37 @@ DATASETS_SURFACE = [
 
 #: Multi-module section title -> its surface list.
 COMPOSITE_SECTIONS = {
+    "Public API (`repro.api`)": API_MODULE_SURFACE,
     "Serving layer (`repro.service`)": SERVICE_SURFACE,
     "Datasets and the SNAP pipeline (`repro.datasets`)": DATASETS_SURFACE,
     "Graph kernel (`repro.graph`)": GRAPH_SURFACE,
 }
 
 METHOD_ALLOWLIST = {
+    "SolveSpec": [
+        "param",
+        "engine_key",
+        "require_source",
+        "source_label",
+        "signature",
+        "to_json_dict",
+        "canonical_json",
+        "from_json_dict",
+        "from_json_line",
+        "reject_initial_anchors",
+    ],
+    "SolveOutcome": [
+        "to_json_dict",
+        "to_json_line",
+        "from_json_dict",
+        "canonical",
+        "raise_for_error",
+    ],
+    "Session": ["solve", "solve_result", "info"],
+    "GraphResolver": ["resolve"],
     "SolverEngine": [
         "solve",
+        "solve_spec",
         "reset",
         "commit_anchor",
         "tree",
@@ -142,6 +184,9 @@ METHOD_ALLOWLIST = {
         "evaluate_gain",
         "evaluate_anchor_chain_gain",
         "apply_anchor_to_arrays",
+        "snapshot_baseline_followers",
+        "restore_baseline_followers",
+        "session_info",
     ],
     "TrussComponentTree": [
         "build",
@@ -173,12 +218,14 @@ METHOD_ALLOWLIST = {
         "submit",
         "submit_sequence",
         "stats",
+        "session_info",
         "close",
     ],
     "EngineSessionCache": ["acquire", "stats"],
     "EngineSession": ["memo_get", "memo_put"],
-    "ServiceRequest": ["source_label", "engine_key", "to_dict"],
-    "ServiceResponse": ["to_dict", "to_json_line", "canonical"],
+    "ResultStore": ["get", "put", "stats"],
+    "StdioTransport": ["serve"],
+    "TcpTransport": ["serve", "start", "close"],
 }
 
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Minimal TCP client for the serve loop's JSON-lines protocol.
+
+Sends a request file (one JSON ``SolveSpec`` per line; ``#`` comments and
+blank lines pass through untouched and are skipped server-side) to a
+``repro-atr serve --transport tcp`` server and writes the response lines to
+a file or stdout, in request order.  Used by the CI ``service-smoke`` job
+and handy for poking a running server by hand::
+
+    PYTHONPATH=src python scripts/service_client.py \\
+        --host 127.0.0.1 --port 7711 \\
+        --requests requests.jsonl --output results.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.transports import request_lines_over_tcp  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--requests", required=True, help="JSON-lines request file to send"
+    )
+    parser.add_argument(
+        "--output", default=None, help="response file (default: stdout)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, help="socket timeout in seconds"
+    )
+    args = parser.parse_args(argv)
+
+    lines = Path(args.requests).read_text(encoding="utf-8").splitlines()
+    responses = request_lines_over_tcp(args.host, args.port, lines, timeout=args.timeout)
+    payload = "\n".join(responses) + ("\n" if responses else "")
+    if args.output is None:
+        sys.stdout.write(payload)
+    else:
+        Path(args.output).write_text(payload, encoding="utf-8")
+        print(f"wrote {args.output}: {len(responses)} response line(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Graph resolution: from a :class:`~repro.api.spec.SolveSpec` source to a
+:class:`~repro.graph.graph.Graph` plus its content fingerprint.
+
+One resolution semantics shared by every ingress (``repro.api.solve``,
+:class:`~repro.api.session.Session`, the serving layer and its process-pool
+workers):
+
+* ``dataset`` names resolve through the (memoised) dataset registry;
+* ``edge_list`` paths load through the ``.npz`` SNAP pipeline
+  (:func:`~repro.datasets.snap.load_snap`);
+* inline ``edges`` build a fresh :class:`Graph`.
+
+:class:`GraphResolver` adds the capacity-bounded caches the scheduler used
+to carry inline — dataset names invalidated by the graph's mutation
+counter, file paths by the file's ``(size, mtime)`` signature, inline edge
+tuples by value — so both the thread-pool service and each process-pool
+worker reuse one battle-tested implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.api.spec import SolveSpec
+from repro.datasets import graph_fingerprint, load_dataset, load_snap
+from repro.graph.graph import Graph
+from repro.utils.errors import ReproError
+
+__all__ = ["GraphResolver", "resolve_graph"]
+
+
+def resolve_graph(spec: SolveSpec) -> Tuple[Graph, str]:
+    """Resolve ``spec``'s graph source (uncached) to ``(graph, fingerprint)``."""
+    spec.require_source()
+    if spec.dataset is not None:
+        graph = load_dataset(spec.dataset)  # memoised by the registry
+        return graph, graph_fingerprint(graph)
+    if spec.edge_list is not None:
+        path = Path(spec.edge_list)
+        if not path.exists():
+            raise ReproError(f"edge-list file not found: {path}")
+        graph = load_snap(path)  # .npz pipeline
+        return graph, graph_fingerprint(graph)
+    assert spec.edges is not None
+    graph = Graph.from_edges(spec.edges)
+    return graph, graph_fingerprint(graph)
+
+
+class GraphResolver:
+    """Thread-safe, capacity-bounded resolution cache (graph + fingerprint).
+
+    A long-running service fed many distinct graphs must not retain every
+    :class:`Graph` it ever resolved — the session cache already bounds the
+    *warm* set; these caches only skip re-resolution (re-parsing a file,
+    re-hashing an inline edge list).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._dataset_graphs: "OrderedDict[str, Tuple[Graph, int, str]]" = OrderedDict()
+        self._path_graphs: "OrderedDict[str, Tuple[Tuple[int, int], Graph, str]]" = (
+            OrderedDict()
+        )
+        # Inline edge lists repeat verbatim in batches; rebuilding the Graph
+        # and re-hashing it per request would tax exactly the warm path the
+        # session cache exists to make cheap.  Keyed by the edge tuple
+        # itself (equal tuples from different JSON lines hit too).
+        self._inline_graphs: "OrderedDict[Tuple, Tuple[Graph, str]]" = OrderedDict()
+
+    def resolve(self, spec: SolveSpec) -> Tuple[Graph, str]:
+        """The spec's graph plus its content fingerprint (both cached)."""
+        spec.require_source()
+        if spec.dataset is not None:
+            return self._resolve_dataset(spec.dataset)
+        if spec.edge_list is not None:
+            return self._resolve_path(spec.edge_list)
+        assert spec.edges is not None
+        return self._resolve_inline(spec.edges)
+
+    def _resolve_dataset(self, name: str) -> Tuple[Graph, str]:
+        graph = load_dataset(name)  # memoised by the registry
+        with self._lock:
+            cached = self._dataset_graphs.get(name)
+            if cached is not None and cached[0] is graph and cached[1] == graph._version:
+                self._dataset_graphs.move_to_end(name)
+                return graph, cached[2]
+        fingerprint = graph_fingerprint(graph)
+        with self._lock:
+            self._dataset_graphs[name] = (graph, graph._version, fingerprint)
+            self._trim(self._dataset_graphs)
+        return graph, fingerprint
+
+    def _resolve_path(self, edge_list: str) -> Tuple[Graph, str]:
+        path = Path(edge_list)
+        try:
+            stat = path.stat()
+        except OSError as exc:
+            raise ReproError(f"edge-list file not found: {path}") from exc
+        signature = (stat.st_size, stat.st_mtime_ns)
+        key = str(path)
+        with self._lock:
+            cached = self._path_graphs.get(key)
+            if cached is not None and cached[0] == signature:
+                self._path_graphs.move_to_end(key)
+                return cached[1], cached[2]
+        graph = load_snap(path)  # .npz pipeline
+        fingerprint = graph_fingerprint(graph)
+        with self._lock:
+            self._path_graphs[key] = (signature, graph, fingerprint)
+            self._trim(self._path_graphs)
+        return graph, fingerprint
+
+    def _resolve_inline(
+        self, edges: Tuple[Tuple[object, object], ...]
+    ) -> Tuple[Graph, str]:
+        cached: Optional[Tuple[Graph, str]]
+        try:
+            with self._lock:
+                cached = self._inline_graphs.get(edges)
+                if cached is not None:
+                    self._inline_graphs.move_to_end(edges)
+                    return cached
+        except TypeError:
+            cached = None  # unhashable vertex labels: build fresh
+        graph = Graph.from_edges(edges)
+        fingerprint = graph_fingerprint(graph)
+        try:
+            with self._lock:
+                self._inline_graphs[edges] = (graph, fingerprint)
+                self._trim(self._inline_graphs)
+        except TypeError:
+            pass
+        return graph, fingerprint
+
+    def _trim(self, cache: "OrderedDict") -> None:
+        """Drop LRU resolution entries beyond the capacity (lock held)."""
+        while len(cache) > self.capacity:
+            cache.popitem(last=False)

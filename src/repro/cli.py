@@ -8,11 +8,14 @@ Sub-commands
     List the registered anchor-selection solvers.
 ``solve``
     Run an anchor-selection algorithm on a dataset or an edge-list file
-    (``--format json`` for machine-readable output).
+    (``--format json`` for machine-readable output).  Builds a canonical
+    :class:`repro.api.SolveSpec` and runs it through ``repro.api.solve`` —
+    the same ingress the service uses.
 ``serve``
-    Serve solve requests as a JSON-lines loop: one request per stdin line,
-    one response per stdout line, until EOF (the
-    :mod:`repro.service.protocol` format).
+    Serve solve requests as a JSON-lines loop over a pluggable transport:
+    ``--transport stdio`` (default; one request per stdin line, one
+    response per stdout line, until EOF) or ``--transport tcp`` (the same
+    line protocol served on ``--host``/``--port``).
 ``batch``
     Run a JSON-lines request *file* through the service (grouped by graph
     for warm-session reuse) and write a JSON-lines response file.
@@ -21,6 +24,11 @@ Sub-commands
 ``report``
     Run every experiment and print a combined report (the content of
     EXPERIMENTS.md is produced this way).
+
+``serve`` and ``batch`` accept ``--executor thread|process``: the process
+executor ships pickled specs to ``ProcessPoolExecutor`` workers (which
+rebuild sessions from graph fingerprints) for true cross-graph parallelism
+past the GIL.
 
 The solver table is a live view over the registry of
 :mod:`repro.core.engine` — registering a solver anywhere makes it available
@@ -33,21 +41,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from collections import deque
 from typing import List, Optional
 
 from repro.core.engine import solver_table
-from repro.datasets import DATASETS, dataset_statistics, load_dataset
+from repro.datasets import DATASETS, dataset_statistics
 from repro.experiments.config import PROFILES, get_profile
 from repro.experiments.runner import available_experiments, run_all, run_experiment
-from repro.graph.io import read_edge_list
-from repro.service.protocol import (
-    ProtocolError,
-    ServiceResponse,
-    parse_request_line,
-    result_to_json,
-)
-from repro.utils.errors import ReproError
 
 #: Live name -> solver view over the engine's registry (was a hand-maintained
 #: dict of imported functions before the SolverEngine layer existed).
@@ -78,7 +77,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     def _service_args(command: argparse.ArgumentParser) -> None:
         command.add_argument(
-            "--workers", type=int, default=4, help="worker threads in the solve pool"
+            "--workers", type=int, default=4, help="workers in the solve pool"
+        )
+        command.add_argument(
+            "--executor",
+            choices=("thread", "process"),
+            default="thread",
+            help="worker pool type: 'thread' overlaps requests, 'process' "
+            "runs them in parallel across cores (pickled specs, per-worker "
+            "session caches rebuilt from graph fingerprints)",
         )
         command.add_argument(
             "--session-cache",
@@ -89,15 +96,33 @@ def _build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--no-memo",
             action="store_true",
-            help="disable request-level memoisation of deterministic solves",
+            help="disable request-level memoisation of deterministic solves "
+            "(also disables the shared result store)",
+        )
+        command.add_argument(
+            "--store-capacity",
+            type=int,
+            default=256,
+            help="entries in the shared cross-graph result store, which "
+            "survives session eviction (0 disables just the store)",
         )
 
     serve = sub.add_parser(
         "serve",
-        help="serve solve requests: one JSON request per stdin line, one "
-        "JSON response per stdout line, until EOF",
+        help="serve solve requests as a JSON-lines loop over stdio or TCP",
     )
     _service_args(serve)
+    serve.add_argument(
+        "--transport",
+        choices=("stdio", "tcp"),
+        default="stdio",
+        help="stdio (default): one request per stdin line, one response per "
+        "stdout line, until EOF; tcp: the same line protocol on --host/--port",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP bind port (0 = ephemeral)"
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -124,63 +149,93 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_serve(args: argparse.Namespace) -> int:
-    """The ``serve`` loop: pipelined JSON lines, responses in input order."""
+def _make_service(args: argparse.Namespace):
     from repro.service import SolveService
 
-    count = 0
-    with SolveService(
+    return SolveService(
         workers=args.workers,
         session_capacity=args.session_cache,
         memoize=not args.no_memo,
-    ) as service:
-        pending: deque = deque()
+        executor=args.executor,
+        store_capacity=args.store_capacity,
+    )
 
-        def _drain(block: bool) -> None:
-            while pending and (block or pending[0].done()):
-                print(pending.popleft().result().to_json_line(), flush=True)
 
-        for line_number, line in enumerate(sys.stdin, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            count += 1
-            try:
-                request = parse_request_line(line, f"line-{line_number}")
-            except ProtocolError as exc:
-                # Keep input order: flush everything in flight, then report.
-                _drain(block=True)
-                error = ServiceResponse(
-                    request_id=f"line-{line_number}", ok=False, error=str(exc)
-                )
-                print(error.to_json_line(), flush=True)
-                continue
-            pending.append(service.submit(request))
-            _drain(block=False)
-        _drain(block=True)
+def _run_solve(args: argparse.Namespace) -> int:
+    """The ``solve`` command: one canonical spec through ``repro.api``."""
+    import repro.api as api
+
+    if bool(args.dataset) == bool(args.edge_list):
+        print("error: provide exactly one of --dataset or --edge-list", file=sys.stderr)
+        return 2
+    spec = api.SolveSpec(
+        dataset=args.dataset or None,
+        edge_list=args.edge_list or None,
+        algorithm=args.algorithm,
+        budget=args.budget,
+    )
+    outcome = api.solve(spec)
+    if not outcome.ok:
+        # e.g. a budget above the edge count, or exact's combinatorial
+        # guard on an instance too large to enumerate.
+        print(f"error: {outcome.error}", file=sys.stderr)
+        return 2
+    payload = outcome.result
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        assert payload is not None
+        print(
+            f"{payload['algorithm']}: b={payload['budget']} gain={payload['gain']} "
+            f"followers={payload['follower_count']} "
+            f"time={payload['timings']['elapsed_seconds']:.3f}s"
+        )
+        print("anchors:", [tuple(edge) for edge in payload["anchors"]])
+        print(
+            "gain by original trussness:",
+            {int(k): v for k, v in payload["gain_by_trussness"].items()},
+        )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` loop behind a pluggable transport."""
+    from repro.service import StdioTransport, TcpTransport
+
+    with _make_service(args) as service:
+        if args.transport == "tcp":
+            transport = TcpTransport(host=args.host, port=args.port)
+            count = transport.serve(
+                service,
+                ready=lambda address: print(
+                    f"listening on {address[0]}:{address[1]}",
+                    file=sys.stderr,
+                    flush=True,
+                ),
+            )
+        else:
+            count = StdioTransport().serve(service)
         print(f"served {count} request(s); {service.stats()}", file=sys.stderr)
     return 0
 
 
 def _run_batch(args: argparse.Namespace) -> int:
-    from repro.service import SolveService, run_batch_file
+    from repro.service import run_batch_file
 
     output = args.output if args.output is not None else args.requests + ".results.jsonl"
-    with SolveService(
-        workers=args.workers,
-        session_capacity=args.session_cache,
-        memoize=not args.no_memo,
-    ) as service:
+    with _make_service(args) as service:
         summary = run_batch_file(service, args.requests, output)
     print(
         f"wrote {summary['output']}: {summary['ok']}/{summary['requests']} ok "
         f"({summary['errors']} error(s)) in {summary['elapsed_s']}s"
     )
     sessions = summary["service"]["sessions"]  # type: ignore[index]
+    store = summary["service"]["result_store"]  # type: ignore[index]
     print(
         f"sessions: {sessions['hits']} hit(s), {sessions['misses']} miss(es), "
         f"{sessions['evictions']} eviction(s); "
-        f"memo hits: {summary['service']['memo_hits']}"  # type: ignore[index]
+        f"memo hits: {summary['service']['memo_hits']}; "  # type: ignore[index]
+        f"store hits: {store['hits']}"
     )
     return 0 if summary["errors"] == 0 else 1
 
@@ -199,25 +254,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "solve":
-        if bool(args.dataset) == bool(args.edge_list):
-            print("error: provide exactly one of --dataset or --edge-list", file=sys.stderr)
-            return 2
-        graph = load_dataset(args.dataset) if args.dataset else read_edge_list(args.edge_list)
-        solver = _SOLVERS[args.algorithm]
-        try:
-            result = solver(graph, args.budget)
-        except ReproError as exc:
-            # e.g. a budget above the edge count, or exact's combinatorial
-            # guard on an instance too large to enumerate.
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        if args.format == "json":
-            print(json.dumps(result_to_json(result), indent=2, sort_keys=True))
-        else:
-            print(result.summary())
-            print("anchors:", result.anchors)
-            print("gain by original trussness:", result.gain_by_trussness)
-        return 0
+        return _run_solve(args)
 
     if args.command == "serve":
         return _run_serve(args)

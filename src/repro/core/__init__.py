@@ -21,7 +21,8 @@ from repro.core.akt import akt_greedy, anchored_k_truss
 from repro.core.component_tree import TreeNode, TrussComponentTree
 from repro.core.edge_deletion import edge_deletion_baseline
 from repro.core.engine import (
-    SolveRequest,
+    SolveRequest,  # deprecated shim over repro.api.SolveSpec
+    SolveSpec,
     SolverEngine,
     SolverSpec,
     available_solvers,
@@ -66,6 +67,7 @@ __all__ = [
     "TrussComponentTree",
     "TreeNode",
     "SolveRequest",
+    "SolveSpec",
     "SolverEngine",
     "SolverSpec",
     "available_solvers",

@@ -53,7 +53,8 @@ decompositions on randomized anchored graphs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
@@ -67,6 +68,7 @@ from typing import (
     Tuple,
 )
 
+from repro.api.spec import SolveSpec
 from repro.core.component_tree import TreePatchInfo, TrussComponentTree
 from repro.core.result import AnchorResult
 from repro.core.reuse import ReuseDecision, ReuseInvalidation, compute_reuse_decision
@@ -79,6 +81,7 @@ from repro.utils.errors import InvalidParameterError
 __all__ = [
     "CommitDelta",
     "SolveRequest",
+    "SolveSpec",
     "SolverEngine",
     "SolverSpec",
     "register_solver",
@@ -294,27 +297,34 @@ def _repeel_hull_layers(
 # ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
-class SolveRequest:
-    """One solve call: the budget plus solver-specific parameters."""
+class SolveRequest(SolveSpec):
+    """Deprecated: construct :class:`repro.api.SolveSpec` instead.
 
-    budget: int
-    initial_anchors: Tuple[Edge, ...] = ()
-    params: Mapping[str, object] = field(default_factory=dict)
+    The engine-level call object of PR 2–4, kept for one release as a thin
+    adapter over the canonical spec: it behaves exactly like an *unbound*
+    ``SolveSpec`` (no graph source) and emits a :class:`DeprecationWarning`
+    on construction.  ``tests/test_api_shims.py`` asserts the old path stays
+    byte-identical to the ``repro.api`` path.
+    """
 
-    def param(self, name: str, default: object = None) -> object:
-        return self.params.get(name, default)
-
-    def reject_initial_anchors(self, solver_name: str) -> None:
-        """Fail fast for solvers that cannot honour pre-set anchors.
-
-        Silently ignoring ``initial_anchors`` would return a result computed
-        on a different problem than the caller asked for.
-        """
-        if self.initial_anchors:
-            raise InvalidParameterError(
-                f"solver {solver_name!r} does not support initial_anchors"
-            )
+    def __init__(
+        self,
+        budget: int,
+        initial_anchors: Tuple[Edge, ...] = (),
+        params: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        warnings.warn(
+            "repro.core.engine.SolveRequest is deprecated; construct "
+            "repro.api.SolveSpec instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        SolveSpec.__init__(
+            self,
+            budget=budget,
+            initial_anchors=tuple(initial_anchors),
+            params=dict(params or {}),
+        )
 
 
 class SolverEngine:
@@ -373,6 +383,14 @@ class SolverEngine:
         # per-candidate totals.  Owned here so a session can span rounds.
         self.follower_cache: Dict[int, Dict[int, FrozenSet[Edge]]] = {}
         self.follower_totals: Dict[int, int] = {}
+        # Baseline follower snapshot (the GAS warm-path fix): the follower
+        # cache of an *unanchored* first round, captured once per session by
+        # :meth:`snapshot_baseline_followers` and surviving :meth:`reset` —
+        # a warm session's first GAS round restores it instead of
+        # recomputing every candidate's followers from scratch.
+        self._baseline_followers: Optional[
+            Tuple[Dict[int, Dict[int, FrozenSet[Edge]]], Dict[int, int]]
+        ] = None
         #: Diagnostics: how often each re-peel path ran for the *current*
         #: solve.  :meth:`reset` folds the counters into
         #: :attr:`lifetime_stats` and zeroes them, so a warm (cached) engine
@@ -425,13 +443,17 @@ class SolverEngine:
     def reset(self, initial_anchors: Iterable[Edge] = ()) -> None:
         """Start a fresh solve: drop the chain, caches, tree and per-solve stats.
 
-        The expensive session assets — the :class:`GraphIndex` and the
-        anchor-free baseline state — survive, which is exactly what a warm
-        (cached) engine amortises across requests.  Everything a solver can
-        observe is restored: the state chain, the component tree, the
-        follower caches and the :attr:`stats` counters (folded into
-        :attr:`lifetime_stats`), so a solve on a reused engine is
-        byte-identical to the same solve on a fresh engine.
+        The expensive session assets — the :class:`GraphIndex`, the
+        anchor-free baseline state and the baseline follower snapshot —
+        survive, which is exactly what a warm (cached) engine amortises
+        across requests.  Everything a solver can observe is restored: the
+        state chain, the component tree, the follower caches and the
+        :attr:`stats` counters (folded into :attr:`lifetime_stats`), so a
+        solve on a reused engine returns results canonically identical to
+        the same solve on a fresh engine (only work-rate diagnostics such
+        as GAS's recompute counters may differ — a warm first round
+        recomputes nothing; see
+        :func:`repro.api.canonical_result`).
 
         Duplicate initial anchors are dropped (first occurrence wins) —
         anchoring is idempotent, and the chain advance rejects re-anchoring.
@@ -455,6 +477,47 @@ class SolverEngine:
         self._invalidation_log = []
         self.follower_cache.clear()
         self.follower_totals.clear()
+
+    def snapshot_baseline_followers(self) -> None:
+        """Persist the unanchored first-round follower cache for future solves.
+
+        Called by GAS right after a cold first-round full pass on an
+        **unanchored** session (no committed or initial anchors): at that
+        point every ``F[e][node]`` entry and every cached total was computed
+        against :attr:`original_state`, so they are valid for the first
+        round of *any* later unanchored solve on this engine.  A no-op when
+        anchors are present, when a snapshot already exists, or when there
+        is nothing to snapshot.
+        """
+        if self.anchors or self._baseline_followers is not None:
+            return
+        if not self.follower_cache:
+            return
+        self._baseline_followers = (
+            {eid: dict(entry) for eid, entry in self.follower_cache.items()},
+            dict(self.follower_totals),
+        )
+
+    def restore_baseline_followers(self) -> bool:
+        """Refill the live follower caches from the baseline snapshot.
+
+        Returns ``True`` when the snapshot applied: the session is
+        unanchored (the snapshot was taken against :attr:`original_state`,
+        which every solve chain starts from) and a snapshot exists.  The
+        restore mutates the cache dicts in place, so aliases held by a
+        running solver stay valid.  Entries are copied out — the solver
+        mutates its cache across rounds and the snapshot must keep serving
+        pristine baselines.
+        """
+        if self.anchors or self._baseline_followers is None:
+            return False
+        cache, totals = self._baseline_followers
+        self.follower_cache.clear()
+        for eid, entry in cache.items():
+            self.follower_cache[eid] = dict(entry)
+        self.follower_totals.clear()
+        self.follower_totals.update(totals)
+        return True
 
     def commit_anchor(self, edge: Edge) -> None:
         """Append ``edge`` to the anchor chain (state advances lazily)."""
@@ -783,27 +846,52 @@ class SolverEngine:
         ``algorithm`` is a registry name (see :func:`available_solvers`);
         ``initial_anchors`` are committed before round one; ``params`` are
         solver-specific knobs validated against the solver's declared
-        parameter list (a typo fails loudly).  The session is reset first,
-        so one engine can serve many solves while reusing its
-        :class:`GraphIndex` and baseline state.
+        parameter list (a typo fails loudly).  Convenience wrapper that
+        builds the canonical (unbound) :class:`repro.api.SolveSpec` and
+        delegates to :meth:`solve_spec`.
         """
-        spec = get_solver(algorithm)
-        if spec.params is not None:
-            unknown = set(params) - set(spec.params)
+        return self.solve_spec(
+            SolveSpec(
+                algorithm=algorithm,
+                budget=budget,
+                initial_anchors=tuple(initial_anchors),
+                params=params,
+            )
+        )
+
+    def solve_spec(self, spec: SolveSpec) -> AnchorResult:
+        """Serve one canonical :class:`repro.api.SolveSpec` on this session.
+
+        The single ingress every solve funnels through (the CLI, the Python
+        API, the serving layer and the registry's graph-level convenience
+        all end up here).  The spec's graph *source*, if any, is the
+        caller's responsibility — :class:`repro.api.Session` and the
+        serving layer verify it resolves to this engine's graph before
+        calling.  Engine-construction options in the spec must match this
+        engine (a mismatch would silently solve under different knobs than
+        the spec asked for).  The session is reset first, so one engine can
+        serve many solves while reusing its :class:`GraphIndex`, baseline
+        state and baseline follower snapshot.
+        """
+        solver = get_solver(spec.algorithm)
+        if solver.params is not None:
+            unknown = {name for name, _v in spec.params} - set(solver.params)
             if unknown:
                 raise InvalidParameterError(
-                    f"unknown parameter(s) for solver {algorithm!r}: "
+                    f"unknown parameter(s) for solver {spec.algorithm!r}: "
                     f"{', '.join(sorted(unknown))}; accepted: "
-                    f"{', '.join(sorted(spec.params)) or '(none)'}"
+                    f"{', '.join(sorted(solver.params)) or '(none)'}"
                 )
-        request = SolveRequest(
-            budget=budget,
-            initial_anchors=tuple(initial_anchors),
-            params=params,
-        )
-        self.reset(request.initial_anchors)
+        for option, value in spec.engine:
+            own = getattr(self, option)
+            if own != value:
+                raise InvalidParameterError(
+                    f"spec engine option {option}={value!r} does not match "
+                    f"this engine's {option}={own!r}"
+                )
+        self.reset(spec.initial_anchors)
         self.solve_count += 1
-        return spec.fn(self, request)
+        return solver.fn(self, spec)
 
     def session_info(self) -> Dict[str, object]:
         """Session-level diagnostics for long-lived (cached) engines.
@@ -833,7 +921,7 @@ class SolverEngine:
 # ---------------------------------------------------------------------------
 # Solver registry
 # ---------------------------------------------------------------------------
-SolverFn = Callable[[SolverEngine, SolveRequest], AnchorResult]
+SolverFn = Callable[[SolverEngine, SolveSpec], AnchorResult]
 
 #: Engine-construction keywords accepted by :meth:`SolverSpec.__call__` and
 #: stripped from the solver params.

@@ -26,7 +26,8 @@ import math
 import time
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.engine import SolveRequest, SolverEngine, register_solver
+from repro.api.spec import SolveSpec
+from repro.core.engine import SolverEngine, register_solver
 from repro.core.result import AnchorResult, evaluate_anchor_set
 from repro.graph.graph import Edge, Graph
 from repro.truss.state import TrussState
@@ -65,7 +66,7 @@ def _check_enumeration(pool: List[Edge], budget: int, max_combinations: int) -> 
     description="exhaustive optimum via chained incremental re-peels",
     params=("candidates", "max_combinations"),
 )
-def _solve_exact(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+def _solve_exact(engine: SolverEngine, request: SolveSpec) -> AnchorResult:
     request.reject_initial_anchors("exact")
     graph = engine.graph
     start = time.perf_counter()

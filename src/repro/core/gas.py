@@ -53,8 +53,9 @@ import heapq
 import time
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.api.spec import SolveSpec
 from repro.core.component_tree import TrussComponentTree
-from repro.core.engine import SolveRequest, SolverEngine, register_solver
+from repro.core.engine import SolverEngine, register_solver
 from repro.core.followers import FollowerMethod, compute_followers
 from repro.core.result import AnchorResult, evaluate_anchor_set
 from repro.core.reuse import (
@@ -182,7 +183,7 @@ def _pop_best(heap: List[Tuple[int, int]], score_of: Dict[int, int]) -> Tuple[in
     description="greedy with per-tree-node follower reuse (Algorithm 6)",
     params=("method", "collect_reuse_stats", "candidates"),
 )
-def _solve_gas(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+def _solve_gas(engine: SolverEngine, request: SolveSpec) -> AnchorResult:
     graph = engine.graph
     budget = request.budget
     method = _validate(graph, budget, request.param("method", FollowerMethod.SUPPORT_CHECK))
@@ -205,6 +206,12 @@ def _solve_gas(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     # Both live on the engine so a session spans rounds (and solves).
     cache = engine.follower_cache
     totals = engine.follower_totals
+    # Warm path: an unanchored session that solved before restores its
+    # baseline follower snapshot — every entry was computed against exactly
+    # this first-round state (and the freshly rebuilt tree's node ids are
+    # deterministic), so round one reads cached totals instead of
+    # recomputing every candidate's followers.
+    warm_baseline = budget > 0 and engine.restore_baseline_followers()
     invalidation: Optional[ReuseInvalidation] = None
     # Lazy candidate max-heap: entries are (-gain, eid); score_of holds each
     # live candidate's current gain (the freshness check at pop time).
@@ -233,7 +240,24 @@ def _solve_gas(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
             invalid_eids = {eid_of[e] for e in decision.invalid_edges}
         dirty_eids = invalidation.dirty_eids if invalidation is not None else None
 
-        if use_heap and decision is not None and dirty_eids is not None:
+        if _round == 0 and warm_baseline:
+            # Warm first round (restored baseline snapshot): every cached
+            # entry and total is already exact for this state, so the scan
+            # only reads totals — zero follower recomputations.  Scores and
+            # heap contents end up identical to a cold first round, which
+            # keeps every later round byte-identical too.
+            best_eid = -1
+            best_count = -1
+            for eid in range(index.num_edges):
+                if anchor_mask[eid]:
+                    continue
+                total = totals[eid]
+                if use_heap and score_of.get(eid) != total:
+                    score_of[eid] = total
+                    heapq.heappush(heap, (-total, eid))
+                if total > best_count:
+                    best_eid, best_count = eid, total
+        elif use_heap and decision is not None and dirty_eids is not None:
             # Heap round: only the dirty closure is re-examined; every other
             # candidate's cached gain (and FR classification) is provably
             # unchanged, so its heap entry is still fresh.
@@ -288,6 +312,12 @@ def _solve_gas(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
                     heapq.heappush(heap, (-total, eid))
                 if total > best_count:
                     best_eid, best_count = eid, total
+
+        if _round == 0 and not warm_baseline:
+            # Cold unanchored first round: persist the freshly computed
+            # baseline follower cache across future resets (no-op when the
+            # session carries anchors or already has a snapshot).
+            engine.snapshot_baseline_followers()
 
         if best_eid < 0:
             break

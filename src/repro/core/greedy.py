@@ -31,7 +31,8 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional, Tuple
 
-from repro.core.engine import SolveRequest, SolverEngine, register_solver
+from repro.api.spec import SolveSpec
+from repro.core.engine import SolverEngine, register_solver
 from repro.core.followers import FollowerMethod, compute_followers
 from repro.core.result import AnchorResult, evaluate_anchor_set
 from repro.graph.graph import Edge, Graph
@@ -71,7 +72,7 @@ def _pick_best(
     description="greedy with per-candidate incremental re-peel (Algorithm 2)",
     params=("candidate_pool",),
 )
-def _solve_base(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+def _solve_base(engine: SolverEngine, request: SolveSpec) -> AnchorResult:
     graph = engine.graph
     _check_budget(graph, request.budget)
     pool_strategy = str(request.param("candidate_pool", "reuse"))
@@ -174,7 +175,7 @@ def _solve_base(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     description="greedy with Algorithm-3 follower search",
     params=("method",),
 )
-def _solve_base_plus(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+def _solve_base_plus(engine: SolverEngine, request: SolveSpec) -> AnchorResult:
     graph = engine.graph
     _check_budget(graph, request.budget)
     method = FollowerMethod(request.param("method", FollowerMethod.SUPPORT_CHECK))

@@ -21,7 +21,8 @@ import random
 import time
 from typing import Dict, Optional, Sequence
 
-from repro.core.engine import SolveRequest, SolverEngine, register_solver
+from repro.api.spec import SolveSpec
+from repro.core.engine import SolverEngine, register_solver
 from repro.core.result import AnchorResult, evaluate_anchor_set
 from repro.core.upward_route import upward_route_size
 from repro.graph.graph import Edge, Graph
@@ -68,7 +69,7 @@ def _run_repetitions(
     return best_result
 
 
-def _top_fraction(request: SolveRequest) -> float:
+def _top_fraction(request: SolveSpec) -> float:
     top_fraction = float(request.param("top_fraction", DEFAULT_TOP_FRACTION))
     if not 0.0 < top_fraction <= 1.0:
         raise InvalidParameterError("top_fraction must be in (0, 1]")
@@ -81,7 +82,7 @@ def _top_fraction(request: SolveRequest) -> float:
     params=("repetitions", "seed"),
     randomized=True,
 )
-def _solve_rand(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+def _solve_rand(engine: SolverEngine, request: SolveSpec) -> AnchorResult:
     request.reject_initial_anchors("rand")
     graph = engine.graph
     rng = make_rng(request.param("seed"))
@@ -103,7 +104,7 @@ def _solve_rand(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     params=("repetitions", "seed", "top_fraction"),
     randomized=True,
 )
-def _solve_sup(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+def _solve_sup(engine: SolverEngine, request: SolveSpec) -> AnchorResult:
     request.reject_initial_anchors("sup")
     graph = engine.graph
     top_fraction = _top_fraction(request)
@@ -128,7 +129,7 @@ def _solve_sup(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
     params=("repetitions", "seed", "top_fraction", "route_sizes"),
     randomized=True,
 )
-def _solve_tur(engine: SolverEngine, request: SolveRequest) -> AnchorResult:
+def _solve_tur(engine: SolverEngine, request: SolveSpec) -> AnchorResult:
     request.reject_initial_anchors("tur")
     graph = engine.graph
     top_fraction = _top_fraction(request)

@@ -5,6 +5,7 @@ fingerprinting) that feeds real graphs into the serving layer."""
 from repro.datasets.registry import (
     DATASETS,
     DatasetSpec,
+    dataset_fingerprint,
     dataset_names,
     dataset_statistics,
     extract_ego_subgraph,
@@ -23,6 +24,7 @@ from repro.datasets.snap import (
 __all__ = [
     "DATASETS",
     "DatasetSpec",
+    "dataset_fingerprint",
     "dataset_names",
     "dataset_statistics",
     "extract_ego_subgraph",

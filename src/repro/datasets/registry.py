@@ -193,6 +193,7 @@ def register_dataset(spec: DatasetSpec, replace: bool = False) -> DatasetSpec:
             )
         _SPECS[_SPECS.index(existing)] = spec
         load_dataset.cache_clear()
+        dataset_fingerprint.cache_clear()
     else:
         _SPECS.append(spec)
     DATASETS[spec.name] = spec
@@ -216,6 +217,21 @@ def load_dataset(name: str) -> Graph:
             f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
         ) from exc
     return spec.builder()
+
+
+@lru_cache(maxsize=None)
+def dataset_fingerprint(name: str) -> str:
+    """The content fingerprint of a registered dataset (memoised).
+
+    Datasets are deterministic builders, so their fingerprint is a pure
+    function of the name — callers that only need the session-cache /
+    result-store key (e.g. process-executor coordination) can skip hashing
+    the graph per request.  Cleared together with :func:`load_dataset`'s
+    memo when a dataset is re-registered.
+    """
+    from repro.datasets.snap import graph_fingerprint
+
+    return graph_fingerprint(load_dataset(name))
 
 
 def dataset_statistics(name: str) -> Dict[str, object]:

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.engine import get_solver
 from repro.core.followers import FollowerMethod
 from repro.datasets import extract_ego_subgraph, load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
@@ -26,9 +25,9 @@ from repro.experiments.reporting import format_table
 
 def run_ablation(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     profile = profile or get_profile()
-    gas = get_solver(profile.primary_solver)
-    base_greedy = get_solver("base")
-    base_plus_greedy = get_solver("base+")
+    gas = profile.solver(profile.primary_solver)
+    base_greedy = profile.solver("base")
+    base_plus_greedy = profile.solver("base+")
     dataset = profile.exact_datasets[0]
     graph = load_dataset(dataset)
     budget = min(profile.default_budget, 5)

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.engine import get_solver
 from repro.datasets import load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_bar_chart
@@ -18,7 +17,7 @@ from repro.experiments.reporting import format_bar_chart
 
 def run_fig10(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     profile = profile or get_profile()
-    gas = get_solver(profile.primary_solver)
+    gas = profile.solver(profile.primary_solver)
     datasets: Dict[str, Dict[str, float]] = {}
     for name in profile.reuse_datasets:
         graph = load_dataset(name)

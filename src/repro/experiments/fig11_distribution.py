@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.akt import akt_greedy
-from repro.core.engine import get_solver
 from repro.core.result import evaluate_anchor_set
 from repro.datasets import load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
@@ -30,7 +29,7 @@ def run_fig11(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     budgets = list(profile.budget_sweep)
     max_budget = max(budgets)
 
-    gas_result = get_solver(profile.primary_solver)(graph, max_budget)
+    gas_result = profile.solver(profile.primary_solver)(graph, max_budget)
 
     # Fig. 11(b): follower distribution per trussness level for each budget.
     follower_distribution: Dict[int, Dict[int, int]] = {}

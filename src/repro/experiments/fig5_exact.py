@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.engine import get_solver
 from repro.datasets import extract_ego_subgraph, load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_series
@@ -22,8 +21,8 @@ from repro.experiments.reporting import format_series
 
 def run_fig5(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     profile = profile or get_profile()
-    exact_atr = get_solver(profile.exact_solver)
-    gas = get_solver(profile.primary_solver)
+    exact_atr = profile.solver(profile.exact_solver)
+    gas = profile.solver(profile.primary_solver)
     datasets: Dict[str, Dict[str, List[float]]] = {}
     for name in profile.exact_datasets:
         graph = load_dataset(name)

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.engine import get_solver
 from repro.core.result import evaluate_anchor_set
 from repro.datasets import load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
@@ -24,7 +23,7 @@ from repro.truss.state import TrussState
 def run_fig6(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     profile = profile or get_profile()
     budgets = list(profile.budget_sweep)
-    gas = get_solver(profile.primary_solver)
+    gas = profile.solver(profile.primary_solver)
     # Series are keyed by solver name, so the baseline list can be reordered
     # or extended from the profile without relabelling risk.
     baseline_names = list(profile.baseline_solvers)
@@ -48,7 +47,7 @@ def run_fig6(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
             series[gas_label].append(prefix_gain)
             for offset, solver_name in enumerate(baseline_names):
                 series[solver_name.capitalize()].append(
-                    get_solver(solver_name)(
+                    profile.solver(solver_name)(
                         graph,
                         budget,
                         repetitions=profile.random_repetitions,

@@ -16,7 +16,6 @@ from typing import Dict, List, Optional
 
 from repro.core.akt import akt_greedy, anchored_k_truss
 from repro.core.edge_deletion import edge_deletion_baseline
-from repro.core.engine import get_solver
 from repro.datasets import load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
@@ -41,7 +40,7 @@ def run_fig7(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     graph = load_dataset(name)
     state = TrussState.compute(graph)
 
-    gas_result = get_solver(profile.primary_solver)(graph, budget)
+    gas_result = profile.solver(profile.primary_solver)(graph, budget)
     akt_best = _akt_case_study(graph, state, budget, profile.akt_max_candidates)
     deletion_result = edge_deletion_baseline(
         graph, budget, max_candidates=60, baseline_state=state

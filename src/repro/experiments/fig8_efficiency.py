@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.engine import get_solver
 from repro.datasets import load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_series
@@ -45,7 +44,7 @@ def run_fig8(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     profile = profile or get_profile()
     budgets = list(profile.budget_sweep)
     max_budget = max(budgets)
-    solvers = {name: get_solver(name) for name in profile.efficiency_solvers}
+    solvers = {name: profile.solver(name) for name in profile.efficiency_solvers}
     datasets: Dict[str, Dict[str, List[object]]] = {}
 
     for name in profile.efficiency_datasets:

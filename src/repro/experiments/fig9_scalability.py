@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.engine import get_solver
 from repro.datasets import load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_series
@@ -22,7 +21,7 @@ def run_fig9(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]:
     profile = profile or get_profile()
     rates = list(profile.scalability_rates)
     budget = profile.scalability_budget
-    gas = get_solver(profile.primary_solver)
+    gas = profile.solver(profile.primary_solver)
     datasets: Dict[str, Dict[str, Dict[str, List[object]]]] = {}
 
     for name in profile.scalability_datasets:

@@ -2,12 +2,22 @@
 
 Used by the CLI (``repro-atr report``) and convenient for generating the
 content of EXPERIMENTS.md in one go.
+
+Since ``repro.api`` v1 every solver invocation in the harness funnels
+through the canonical :class:`repro.api.SolveSpec` ingress: experiments
+resolve solvers via :meth:`ExperimentProfile.solver
+<repro.experiments.config.ExperimentProfile.solver>` — which applies the
+profile's ``engine_options`` and calls the registry's
+:meth:`~repro.core.engine.SolverSpec.__call__` — and that builds the spec
+and hands it to :meth:`~repro.core.engine.SolverEngine.solve_spec`, the
+same path the CLI, the Python API and the serving layer use.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.api.spec import SCHEMA_VERSION
 from repro.core.engine import available_solvers
 from repro.experiments.ablation import render_ablation, run_ablation
 from repro.experiments.config import ExperimentProfile, get_profile
@@ -56,7 +66,8 @@ def run_all(profile: Optional[ExperimentProfile] = None, names: Optional[List[st
     names = names or available_experiments()
     sections: List[str] = [
         f"# ATR experiment report (profile: {profile.name})\n\n"
-        f"Registered solvers: {', '.join(available_solvers())}"
+        f"Registered solvers: {', '.join(available_solvers())}  \n"
+        f"Solve API: repro.api v{SCHEMA_VERSION}"
     ]
     for name in names:
         (_result, text), elapsed = timed(lambda name=name: run_experiment(name, profile))

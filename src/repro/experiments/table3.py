@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.engine import get_solver
 from repro.datasets import dataset_statistics, load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
@@ -32,9 +31,9 @@ def run_table3(profile: Optional[ExperimentProfile] = None) -> Dict[str, List[Di
     # table instead of silently mislabelling columns.
     baseline_names = list(profile.baseline_solvers)
     primary_name = profile.primary_solver
-    primary = get_solver(primary_name)
-    base_plus = get_solver("base+")
-    base = get_solver("base")
+    primary = profile.solver(primary_name)
+    base_plus = profile.solver("base+")
+    base = profile.solver("base")
 
     for name in profile.datasets:
         graph = load_dataset(name)
@@ -42,7 +41,7 @@ def run_table3(profile: Optional[ExperimentProfile] = None) -> Dict[str, List[Di
         baseline_state = TrussState.compute(graph)
 
         baseline_gains = {
-            solver_name: get_solver(solver_name)(
+            solver_name: profile.solver(solver_name)(
                 graph,
                 budget,
                 repetitions=profile.random_repetitions,

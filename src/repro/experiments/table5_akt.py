@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.akt import akt_best_k
-from repro.core.engine import get_solver
 from repro.datasets import load_dataset
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
@@ -23,7 +22,7 @@ def run_table5(profile: Optional[ExperimentProfile] = None) -> Dict[str, object]
     budget = profile.akt_budget
     rows: List[Dict[str, object]] = []
 
-    gas = get_solver(profile.primary_solver)
+    gas = profile.solver(profile.primary_solver)
     for name in profile.akt_datasets:
         graph = load_dataset(name)
         state = TrussState.compute(graph)

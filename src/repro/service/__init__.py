@@ -1,13 +1,20 @@
 """The serving layer: concurrent solve-serving on top of the solver registry.
 
-``repro.service`` is the first subsystem that *serves* the engine stack
-instead of driving it from a script: requests come in (JSON lines over the
-CLI's ``serve``/``batch`` commands, or :class:`ServiceRequest` objects in
-process), are routed through the solver registry, and reuse warm
-engine sessions keyed by graph fingerprint.  See
-``docs/ARCHITECTURE.md`` ("Serving layer") for the invariants.
+``repro.service`` serves canonical :class:`repro.api.SolveSpec` requests:
+they come in as JSON lines over a pluggable transport (stdio or TCP — the
+CLI's ``serve`` command), as request files (``batch``), or as spec objects
+in process; are routed through the solver registry by a
+:class:`SolveService` running a thread **or process** executor; and reuse
+warm engine sessions keyed by graph fingerprint plus a shared cross-graph
+result store that survives session eviction.  See ``docs/ARCHITECTURE.md``
+("Serving layer" and "Public API & transports") for the invariants.
+
+``ServiceRequest`` / ``ServiceResponse`` are deprecated adapters over
+:class:`repro.api.SolveSpec` / :class:`repro.api.SolveOutcome`, kept for
+one release.
 """
 
+from repro.api.spec import SolveOutcome, SolveSpec, canonical_result, result_to_json
 from repro.service.batching import (
     group_requests,
     read_request_file,
@@ -18,27 +25,42 @@ from repro.service.protocol import (
     ProtocolError,
     ServiceRequest,
     ServiceResponse,
-    canonical_result,
     parse_request,
     parse_request_line,
-    result_to_json,
 )
-from repro.service.scheduler import SolveService
+from repro.service.result_store import ResultStore
+from repro.service.scheduler import EXECUTORS, SolveService
 from repro.service.session_cache import EngineSession, EngineSessionCache
+from repro.service.transports import (
+    StdioTransport,
+    TcpTransport,
+    Transport,
+    request_lines_over_tcp,
+    serve_stream,
+)
 
 __all__ = [
+    "EXECUTORS",
     "EngineSession",
     "EngineSessionCache",
     "ProtocolError",
+    "ResultStore",
     "ServiceRequest",
     "ServiceResponse",
+    "SolveOutcome",
+    "SolveSpec",
     "SolveService",
+    "StdioTransport",
+    "TcpTransport",
+    "Transport",
     "canonical_result",
     "group_requests",
     "parse_request",
     "parse_request_line",
     "read_request_file",
+    "request_lines_over_tcp",
     "result_to_json",
     "run_batch",
     "run_batch_file",
+    "serve_stream",
 ]

@@ -24,12 +24,8 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from repro.service.protocol import (
-    ProtocolError,
-    ServiceRequest,
-    ServiceResponse,
-    parse_request_line,
-)
+from repro.api.spec import SolveOutcome, SolveSpec
+from repro.service.protocol import ProtocolError, parse_request_line
 from repro.service.scheduler import SolveService
 
 __all__ = [
@@ -42,7 +38,7 @@ __all__ = [
 PathLike = Union[str, Path]
 
 #: A parsed line: the request, or the parse failure standing in for it.
-ParsedLine = Tuple[Optional[ServiceRequest], Optional[ServiceResponse]]
+ParsedLine = Tuple[Optional[SolveSpec], Optional[SolveOutcome]]
 
 
 def read_request_file(path: PathLike) -> List[ParsedLine]:
@@ -65,7 +61,7 @@ def read_request_file(path: PathLike) -> List[ParsedLine]:
                 parsed.append(
                     (
                         None,
-                        ServiceResponse(
+                        SolveOutcome(
                             request_id=f"line-{line_number}", ok=False, error=str(exc)
                         ),
                     )
@@ -73,7 +69,7 @@ def read_request_file(path: PathLike) -> List[ParsedLine]:
     return parsed
 
 
-def _session_identity(request: ServiceRequest) -> Hashable:
+def _session_identity(request: SolveSpec) -> Hashable:
     """The grouping key: requests that would share a session group together.
 
     Purely a scheduling heuristic — computed without loading the graph, so
@@ -91,7 +87,7 @@ def _session_identity(request: ServiceRequest) -> Hashable:
 
 
 def group_requests(
-    requests: Sequence[ServiceRequest],
+    requests: Sequence[SolveSpec],
 ) -> List[List[int]]:
     """Indices of ``requests`` grouped by session identity, in first-seen order."""
     groups: "OrderedDict[Hashable, List[int]]" = OrderedDict()
@@ -101,14 +97,14 @@ def group_requests(
 
 
 def run_batch(
-    service: SolveService, requests: Sequence[ServiceRequest]
-) -> List[ServiceResponse]:
+    service: SolveService, requests: Sequence[SolveSpec]
+) -> List[SolveOutcome]:
     """Serve ``requests`` grouped by session; responses keep input order."""
     groups = group_requests(requests)
     futures = [
         service.submit_sequence([requests[i] for i in members]) for members in groups
     ]
-    responses: List[Optional[ServiceResponse]] = [None] * len(requests)
+    responses: List[Optional[SolveOutcome]] = [None] * len(requests)
     for members, future in zip(groups, futures):
         for position, response in zip(members, future.result()):
             responses[position] = response

@@ -1,0 +1,117 @@
+"""Process-executor workers: pickled :class:`SolveSpec`\\ s in, payloads out.
+
+The thread executor overlaps requests but cannot parallelise them — solves
+are CPU-bound pure Python, so the GIL serialises the actual work.  The
+process executor ships the (picklable, self-describing) canonical spec to a
+:class:`~concurrent.futures.ProcessPoolExecutor` worker, which **rebuilds
+and caches sessions from graph fingerprints** on its side of the process
+boundary: each worker owns a private
+:class:`~repro.api.resolve.GraphResolver` and
+:class:`~repro.service.session_cache.EngineSessionCache`, initialised once
+per process, so repeated requests against one graph stay warm inside the
+worker while requests against *different* graphs run truly in parallel
+across workers (given the cores).
+
+Everything in this module must stay importable and picklable from a bare
+interpreter — no closures, no bound state — because worker processes
+import it by name.  Workers return plain dict payloads (JSON-typed), never
+rich objects, so the only pickled types on the result path are builtins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.resolve import GraphResolver
+from repro.api.session import memoizable
+from repro.api.spec import SolveSpec, result_to_json
+from repro.service.session_cache import EngineSessionCache
+from repro.utils.errors import ReproError
+
+__all__ = ["init_worker", "solve_specs_in_worker"]
+
+#: One unit of worker work: the spec plus the coordinator's expected graph
+#: fingerprint (``None`` when the coordinator has no authoritative one).
+#: Dataset registrations are per-process state — a dataset re-registered
+#: after this worker forked would silently resolve to the *old* graph here,
+#: so the coordinator ships its current fingerprint and the worker refuses
+#: a mismatch loudly instead of serving stale results.
+WorkerJob = Tuple[SolveSpec, Optional[str]]
+
+#: Per-process serving state, created by :func:`init_worker` (the pool's
+#: ``initializer``) or lazily on first use.
+_RESOLVER: Optional[GraphResolver] = None
+_SESSIONS: Optional[EngineSessionCache] = None
+_MEMOIZE = True
+
+
+def init_worker(session_capacity: int = 4, memoize: bool = True) -> None:
+    """Initialise this worker process's resolver and session cache."""
+    global _RESOLVER, _SESSIONS, _MEMOIZE
+    _RESOLVER = GraphResolver()
+    _SESSIONS = EngineSessionCache(session_capacity)
+    _MEMOIZE = memoize
+
+
+def _solve_one(spec: SolveSpec, expected_fingerprint: Optional[str]) -> Dict[str, object]:
+    """Serve one spec on this worker's warm state; never raises."""
+    assert _RESOLVER is not None and _SESSIONS is not None
+    try:
+        graph, fingerprint = _RESOLVER.resolve(spec)
+        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+            # The coordinator's registry disagrees with this worker's —
+            # the dataset was re-registered after the pool started.  Fail
+            # loudly rather than serve (and cache) results for the old graph.
+            return {
+                "ok": False,
+                "error": (
+                    f"stale dataset in worker: {spec.source_label()} resolves "
+                    "to a different graph than the coordinator's registry "
+                    "(re-registered after the process pool started); "
+                    "re-create the service to pick up the new registration"
+                ),
+            }
+        key = (fingerprint, spec.engine_key())
+        session, status = _SESSIONS.acquire(key, graph, spec.engine_map)
+        memo_ok = _MEMOIZE and memoizable(spec)
+        signature = spec.signature() if memo_ok else None
+        with session.lock:  # workers are single-threaded; kept for symmetry
+            payload = session.memo_get(signature) if memo_ok else None
+            memo_hit = payload is not None
+            if payload is None:
+                result = session.engine.solve_spec(spec)
+                payload = result_to_json(result)
+                if memo_ok:
+                    session.memo_put(signature, payload)
+            solve_count = session.engine.solve_count
+        return {
+            "ok": True,
+            "result": payload,
+            "fingerprint": fingerprint,
+            "cache": {
+                "session": status,
+                "memo": memo_hit,
+                "engine_solve_count": solve_count,
+            },
+        }
+    except ReproError as exc:
+        return {"ok": False, "error": str(exc)}
+    except Exception as exc:  # noqa: BLE001 - serving boundary
+        # Same contract as the thread path: anything a hand-crafted spec can
+        # still trigger must come back as a failed payload, not poison the
+        # worker (or worse, kill the pool with an unpicklable exception).
+        return {"ok": False, "error": f"internal error: {type(exc).__name__}: {exc}"}
+
+
+def solve_specs_in_worker(jobs: List[WorkerJob]) -> List[Dict[str, object]]:
+    """Serve a group of jobs sequentially on this worker's warm state.
+
+    The batching layer's grouping survives the process boundary: a whole
+    same-graph group ships as one task, its first spec warms the worker's
+    session and the rest reuse it back-to-back — exactly the thread
+    executor's :meth:`~repro.service.scheduler.SolveService.submit_sequence`
+    semantics.
+    """
+    if _RESOLVER is None or _SESSIONS is None:
+        init_worker()
+    return [_solve_one(spec, expected) for spec, expected in jobs]

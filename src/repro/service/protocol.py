@@ -1,29 +1,43 @@
-"""The serving wire format: requests, responses and the JSON-lines codec.
+"""The serving wire format, now a thin veneer over :mod:`repro.api.spec`.
 
-One request names a graph (by dataset name, edge-list path or inline edge
-list), a registered solver and its parameters; one response carries the
-machine-readable solve result (the same rendering ``repro-atr solve
---format json`` prints) plus serving metadata: the graph fingerprint, how
-the engine-session cache was used and the wall-clock split.
+Since ``repro.api`` v1 the canonical request/response pair is
+:class:`~repro.api.spec.SolveSpec` / :class:`~repro.api.spec.SolveOutcome`;
+this module keeps the wire-facing names the serving layer and its
+transports always used:
+
+* :func:`parse_request` / :func:`parse_request_line` decode JSON-lines
+  requests into canonical ``SolveSpec``\\ s (strict validation, graph source
+  required);
+* :func:`result_to_json` / :func:`canonical_result` are re-exported from
+  the spec module — one rendering, one byte-identity comparand, shared by
+  the CLI, both executors and both transports;
+* :class:`ServiceRequest` and :class:`ServiceResponse` remain as
+  **deprecated adapters** for one release: they subclass the canonical
+  types, behave identically, and emit a :class:`DeprecationWarning` on
+  construction.
 
 Determinism is part of the contract: for a deterministic solver the
 ``result`` payload of a service response is **byte-identical** (after
-:func:`canonical_result` strips wall-clock timings) to a single-shot
-``repro-atr solve`` run of the same request — regardless of batching,
-concurrency, session reuse or memoisation.  The test-suite and the
-benchmark's ``service`` section both assert this for every solver in the
-registry.
+:func:`canonical_result` strips wall-clock timings and warmth-dependent
+work counters) to a single-shot ``repro-atr solve`` run of the same spec —
+regardless of batching, concurrency, session reuse, memoisation, executor
+(thread or process) or transport (stdio or TCP).  The test-suite and the
+benchmark's ``service`` / ``api`` sections both assert this for every
+solver in the registry.
 """
 
 from __future__ import annotations
 
-import copy
-import json
-from dataclasses import dataclass, field
+import warnings
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.core.result import AnchorResult
-from repro.utils.errors import ReproError
+from repro.api.spec import (
+    SolveOutcome,
+    SolveSpec,
+    SpecError,
+    canonical_result,
+    result_to_json,
+)
 
 __all__ = [
     "ProtocolError",
@@ -35,274 +49,101 @@ __all__ = [
     "result_to_json",
 ]
 
-
-class ProtocolError(ReproError):
-    """A malformed service request (unknown field, missing graph source, ...)."""
-
-
-# ---------------------------------------------------------------------------
-# Result rendering (shared with the CLI's ``solve --format json``)
-# ---------------------------------------------------------------------------
-def _json_safe(value: object) -> object:
-    """Recursively convert a result payload into JSON-serialisable types."""
-    if isinstance(value, dict):
-        return {str(key): _json_safe(entry) for key, entry in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        items = list(value)
-        if isinstance(value, (set, frozenset)):
-            items = sorted(items, key=repr)
-        return [_json_safe(entry) for entry in items]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+#: A malformed service request.  Alias of :class:`repro.api.SpecError` —
+#: the spec module owns validation now; ``except ProtocolError`` keeps
+#: catching exactly what it always caught.
+ProtocolError = SpecError
 
 
-def result_to_json(result: AnchorResult) -> dict:
-    """Machine-readable rendering of an :class:`AnchorResult`.
+def parse_request(payload: Mapping[str, object], default_id: str = "") -> SolveSpec:
+    """Validate a decoded request mapping into a canonical :class:`SolveSpec`.
 
-    This is the single rendering shared by ``repro-atr solve --format json``
-    and every service response — one code path is what makes the service's
-    byte-identity guarantee checkable at all.
+    Wire requests must name their graph (exactly one of ``dataset``,
+    ``edge_list`` or ``edges``); ``schema_version`` is optional on input
+    (defaulting to the current version) and rejected when unsupported.
     """
-    return {
-        "algorithm": result.algorithm,
-        "budget": result.budget,
-        "anchors": [list(edge) for edge in result.anchors],
-        "gain": result.gain,
-        "per_round_gain": list(result.per_round_gain),
-        "followers": sorted([list(edge) for edge in result.followers]),
-        "follower_count": len(result.followers),
-        "gain_by_trussness": {str(k): v for k, v in result.gain_by_trussness.items()},
-        "timings": {
-            "elapsed_seconds": result.elapsed_seconds,
-            "cumulative_seconds_per_round": list(
-                result.extra.get("cumulative_seconds_per_round", [])
-            ),
-        },
-        "extra": _json_safe(result.extra),
-    }
+    return SolveSpec.from_json_dict(payload, default_id=default_id).require_source()
 
 
-def canonical_result(result_payload: Mapping[str, object]) -> dict:
-    """A :func:`result_to_json` payload with every wall-clock field removed.
-
-    Two runs of a deterministic solver differ only in timings; comparing the
-    canonical forms for byte equality (``json.dumps(..., sort_keys=True)``)
-    is the service's determinism check.
-    """
-    canonical = copy.deepcopy(dict(result_payload))
-    canonical.pop("timings", None)
-    extra = canonical.get("extra")
-    if isinstance(extra, dict):
-        extra.pop("cumulative_seconds_per_round", None)
-    return canonical
+def parse_request_line(line: str, default_id: str = "") -> SolveSpec:
+    """Parse one JSON line into a canonical :class:`SolveSpec`."""
+    return SolveSpec.from_json_line(line, default_id=default_id).require_source()
 
 
-# ---------------------------------------------------------------------------
-# Requests
-# ---------------------------------------------------------------------------
-#: Top-level request fields (anything else fails loudly — a typo'd field
-#: silently running with defaults is how batch results go subtly wrong).
-_REQUEST_FIELDS = (
-    "id",
-    "dataset",
-    "edge_list",
-    "edges",
-    "algorithm",
-    "budget",
-    "params",
-    "initial_anchors",
-    "engine",
-)
+class ServiceRequest(SolveSpec):
+    """Deprecated: construct :class:`repro.api.SolveSpec` instead.
 
-#: Engine-construction options a request may set (cache-key relevant).
-_ENGINE_FIELDS = ("tree_mode", "full_peel_threshold")
-
-
-@dataclass(frozen=True)
-class ServiceRequest:
-    """One solve request, addressable to :class:`~repro.service.SolveService`.
-
-    Exactly one graph source must be set: ``dataset`` (a registry name,
-    built-in or registered via
-    :func:`~repro.datasets.register_snap_dataset`), ``edge_list`` (a SNAP
-    file path, loaded through the ``.npz`` pipeline) or ``edges`` (an inline
-    edge list).  ``params`` are solver parameters validated by the engine
-    registry; ``engine`` holds engine-construction options (``tree_mode``,
-    ``full_peel_threshold``), which are part of the session cache key.
+    The PR 4 wire-request class, kept for one release as a thin adapter: it
+    is a :class:`SolveSpec` that requires a graph source at construction
+    (the old contract) and emits a :class:`DeprecationWarning`.
+    ``tests/test_api_shims.py`` asserts the old path stays byte-identical
+    to the ``repro.api`` path.
     """
 
-    request_id: str = ""
-    dataset: Optional[str] = None
-    edge_list: Optional[str] = None
-    edges: Optional[Tuple[Tuple[object, object], ...]] = None
-    algorithm: str = "gas"
-    budget: int = 5
-    params: Mapping[str, object] = field(default_factory=dict)
-    initial_anchors: Tuple[Tuple[object, object], ...] = ()
-    engine: Mapping[str, object] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        sources = [s for s in (self.dataset, self.edge_list, self.edges) if s is not None]
-        if len(sources) != 1:
-            raise ProtocolError(
-                "exactly one graph source required: dataset, edge_list or edges"
-            )
-        if self.dataset is not None and not isinstance(self.dataset, str):
-            raise ProtocolError(f"dataset must be a string, got {self.dataset!r}")
-        if self.edge_list is not None and not isinstance(self.edge_list, str):
-            raise ProtocolError(f"edge_list must be a string, got {self.edge_list!r}")
-        if not isinstance(self.budget, int) or isinstance(self.budget, bool):
-            raise ProtocolError(f"budget must be an integer, got {self.budget!r}")
-        unknown = set(self.engine) - set(_ENGINE_FIELDS)
-        if unknown:
-            raise ProtocolError(
-                f"unknown engine option(s): {', '.join(sorted(map(str, unknown)))}; "
-                f"accepted: {', '.join(_ENGINE_FIELDS)}"
-            )
-        for option, value in self.engine.items():
-            # Engine options feed the (hashable) session cache key.
-            if not isinstance(value, (str, int, float, bool)) and value is not None:
-                raise ProtocolError(
-                    f"engine option {option!r} must be a scalar, got {value!r}"
-                )
-
-    def source_label(self) -> str:
-        """Human-readable graph source (for logs and error messages)."""
-        if self.dataset is not None:
-            return f"dataset:{self.dataset}"
-        if self.edge_list is not None:
-            return f"edge_list:{self.edge_list}"
-        assert self.edges is not None
-        return f"edges:{len(self.edges)}"
-
-    def engine_key(self) -> Tuple[Tuple[str, object], ...]:
-        """The engine options as a stable, hashable cache-key component."""
-        return tuple(sorted(self.engine.items()))
-
-    def to_dict(self) -> dict:
-        """The JSON-lines rendering (inverse of :func:`parse_request`)."""
-        payload: Dict[str, object] = {"id": self.request_id}
-        if self.dataset is not None:
-            payload["dataset"] = self.dataset
-        if self.edge_list is not None:
-            payload["edge_list"] = self.edge_list
-        if self.edges is not None:
-            payload["edges"] = [list(edge) for edge in self.edges]
-        payload["algorithm"] = self.algorithm
-        payload["budget"] = self.budget
-        if self.params:
-            payload["params"] = dict(self.params)
-        if self.initial_anchors:
-            payload["initial_anchors"] = [list(edge) for edge in self.initial_anchors]
-        if self.engine:
-            payload["engine"] = dict(self.engine)
-        return payload
-
-
-def _edge_tuples(value: object, field_name: str) -> Tuple[Tuple[object, object], ...]:
-    if not isinstance(value, (list, tuple)):
-        raise ProtocolError(f"{field_name} must be a list of [u, v] pairs")
-    edges = []
-    for pair in value:
-        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
-            raise ProtocolError(
-                f"{field_name} entries must be [u, v] pairs, got {pair!r}"
-            )
-        edges.append((pair[0], pair[1]))
-    return tuple(edges)
-
-
-def parse_request(payload: Mapping[str, object], default_id: str = "") -> ServiceRequest:
-    """Validate a decoded request mapping into a :class:`ServiceRequest`."""
-    if not isinstance(payload, Mapping):
-        raise ProtocolError(f"request must be a JSON object, got {type(payload).__name__}")
-    unknown = set(payload) - set(_REQUEST_FIELDS)
-    if unknown:
-        raise ProtocolError(
-            f"unknown request field(s): {', '.join(sorted(map(str, unknown)))}; "
-            f"accepted: {', '.join(_REQUEST_FIELDS)}"
+    def __init__(
+        self,
+        request_id: str = "",
+        dataset: Optional[str] = None,
+        edge_list: Optional[str] = None,
+        edges: Optional[Tuple[Tuple[object, object], ...]] = None,
+        algorithm: str = "gas",
+        budget: int = 5,
+        params: Optional[Mapping[str, object]] = None,
+        initial_anchors: Tuple[Tuple[object, object], ...] = (),
+        engine: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        warnings.warn(
+            "repro.service.ServiceRequest is deprecated; construct "
+            "repro.api.SolveSpec instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    params = payload.get("params", {})
-    if not isinstance(params, Mapping):
-        raise ProtocolError("params must be a JSON object")
-    engine = payload.get("engine", {})
-    if not isinstance(engine, Mapping):
-        raise ProtocolError("engine must be a JSON object")
-    edges = payload.get("edges")
-    raw_id = payload.get("id")
-    # Presence, not truthiness: an explicit id of 0 must stay "0".
-    request_id = default_id if raw_id is None or raw_id == "" else str(raw_id)
-    return ServiceRequest(
-        request_id=request_id,
-        dataset=payload.get("dataset"),  # type: ignore[arg-type]
-        edge_list=payload.get("edge_list"),  # type: ignore[arg-type]
-        edges=_edge_tuples(edges, "edges") if edges is not None else None,
-        algorithm=str(payload.get("algorithm", "gas")),
-        budget=payload.get("budget", 5),  # type: ignore[arg-type]
-        params=dict(params),
-        initial_anchors=_edge_tuples(
-            payload.get("initial_anchors", ()), "initial_anchors"
-        ),
-        engine=dict(engine),
-    )
+        SolveSpec.__init__(
+            self,
+            request_id=request_id,
+            dataset=dataset,
+            edge_list=edge_list,
+            edges=edges,
+            algorithm=algorithm,
+            budget=budget,
+            params=dict(params or {}),
+            initial_anchors=initial_anchors,
+            engine=dict(engine or {}),
+        )
+        self.require_source()
 
 
-def parse_request_line(line: str, default_id: str = "") -> ServiceRequest:
-    """Parse one JSON line into a :class:`ServiceRequest`."""
-    try:
-        payload = json.loads(line)
-    except json.JSONDecodeError as exc:
-        raise ProtocolError(f"invalid JSON: {exc}") from exc
-    return parse_request(payload, default_id=default_id)
+class ServiceResponse(SolveOutcome):
+    """Deprecated: construct :class:`repro.api.SolveOutcome` instead.
 
-
-# ---------------------------------------------------------------------------
-# Responses
-# ---------------------------------------------------------------------------
-@dataclass
-class ServiceResponse:
-    """The outcome of one service request.
-
-    ``result`` is the :func:`result_to_json` payload on success (``None`` on
-    failure, with ``error`` set); ``cache`` records how the session cache
-    served the request (``session`` is ``"hit"``, ``"miss"`` or ``"bypass"``
-    and ``memo`` flags a memoised answer); ``timings`` splits queueing from
-    solving.
+    The PR 4 response class, kept for one release as a thin adapter with
+    the old constructor signature; the serving layer itself now produces
+    :class:`SolveOutcome`\\ s.
     """
 
-    request_id: str
-    ok: bool
-    result: Optional[dict] = None
-    error: Optional[str] = None
-    fingerprint: Optional[str] = None
-    cache: Dict[str, object] = field(default_factory=dict)
-    timings: Dict[str, float] = field(default_factory=dict)
-
-    def to_dict(self) -> dict:
-        return {
-            "id": self.request_id,
-            "ok": self.ok,
-            "error": self.error,
-            "fingerprint": self.fingerprint,
-            "cache": dict(self.cache),
-            "timings": dict(self.timings),
-            "result": self.result,
-        }
-
-    def to_json_line(self) -> str:
-        """One-line JSON rendering (the ``serve`` / ``batch`` output format)."""
-        return json.dumps(self.to_dict(), sort_keys=True)
-
-    def canonical(self) -> dict:
-        """The deterministic core: id, status and the canonical result.
-
-        Serving metadata (cache route, timings) legitimately differs between
-        a warm and a cold run; this is the part that must not.
-        """
-        return {
-            "id": self.request_id,
-            "ok": self.ok,
-            "error": self.error,
-            "result": canonical_result(self.result) if self.result is not None else None,
-        }
+    def __init__(
+        self,
+        request_id: str,
+        ok: bool,
+        result: Optional[dict] = None,
+        error: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        cache: Optional[Dict[str, object]] = None,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> None:
+        warnings.warn(
+            "repro.service.ServiceResponse is deprecated; construct "
+            "repro.api.SolveOutcome instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        SolveOutcome.__init__(
+            self,
+            request_id=request_id,
+            ok=ok,
+            result=result,
+            error=error,
+            fingerprint=fingerprint,
+            cache=dict(cache or {}),
+            timings=dict(timings or {}),
+        )

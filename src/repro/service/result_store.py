@@ -1,0 +1,47 @@
+"""The shared cross-graph result store: canonical payloads that outlive sessions.
+
+Per-session memoisation (PR 4) dies with its session: once the LRU engine
+cache evicts a warm engine, every memoised answer goes with it, and the
+next identical request pays a full solve on a rebuilt session.  The
+:class:`ResultStore` fixes that asymmetry — a *service-wide* LRU keyed by
+``(graph_fingerprint, canonical spec signature)`` that keeps serving
+deterministic answers after eviction, across sessions, and (for the
+process executor) across worker processes, because it lives in the
+coordinating service, not in any engine.
+
+Gating is identical to the per-session memo (the
+:func:`repro.api.session.memoizable` rule): only deterministic requests —
+a non-``randomized`` solver, or a randomized one with an explicit ``seed``
+— are stored or served, so a stored answer is by construction equal to a
+re-run.
+
+Keys are full SHA-256 content fingerprints.  Unlike the session cache —
+which verifies the cached graph object against the requested one on every
+hit — no structural verification is possible here once the original graph
+is gone; a SHA-256 content collision is the accepted (astronomically
+unlikely) risk.  The scheduler additionally refuses to read or write the
+store on a *detected* collision (a session-cache ``"bypass"`` while warm
+sessions are configured); with ``session_capacity=0`` every request is a
+by-design bypass with nothing to detect against, and the store stays live
+— it is exactly the configuration where answers would otherwise never be
+reused.  ``capacity=0`` disables the store entirely.
+"""
+
+from __future__ import annotations
+
+from repro.utils.lru import PayloadCache
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore(PayloadCache):
+    """Thread-safe LRU of canonical result payloads (see module docstring).
+
+    A :class:`~repro.utils.lru.PayloadCache` with locking on — the store is
+    read and written concurrently by every coordination thread — plus the
+    service-wide default capacity.  Keys are built by the scheduler as
+    ``(graph_fingerprint, spec.signature())``.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity, thread_safe=True)

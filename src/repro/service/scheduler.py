@@ -1,68 +1,84 @@
 """The :class:`SolveService`: a concurrent solve-serving front end.
 
 The service sits on the seam the solver registry opened: every request is a
-``(graph source, solver name, parameters)`` triple routed through
-:meth:`SolverEngine.solve`, so any registered solver — built-in or
+canonical :class:`~repro.api.spec.SolveSpec` routed through
+:meth:`SolverEngine.solve_spec`, so any registered solver — built-in or
 third-party — is servable without the service knowing it exists.  On top of
 that it adds the serving concerns the bare engine does not have:
 
-* a worker pool (:class:`~concurrent.futures.ThreadPoolExecutor`) so
-  requests against *different* graphs run concurrently;
+* an **executor**: ``"thread"`` (the default — a
+  :class:`~concurrent.futures.ThreadPoolExecutor`, overlapping requests
+  against different graphs) or ``"process"`` (a
+  :class:`~concurrent.futures.ProcessPoolExecutor` fed pickled specs, whose
+  workers rebuild and cache sessions from graph fingerprints — true
+  cross-graph parallelism past the GIL; see
+  :mod:`repro.service.process_pool`);
 * the :class:`~repro.service.session_cache.EngineSessionCache`, so requests
-  against the *same* graph reuse one warm engine (index, baseline state)
-  and serialise on its lock instead of racing;
-* per-session **memoisation** of deterministic requests: a solver that is a
-  pure function of ``(graph, request)`` (every non-``randomized`` solver,
-  and a randomized one with an explicit ``seed``) is answered from cache on
-  repeats — byte-identical by construction;
-* graph resolution with caching: dataset names resolve through the (memoised)
-  registry, file paths through the ``.npz`` SNAP pipeline with an in-process
-  cache keyed by the file's size+mtime, inline edge lists are built fresh.
+  against the *same* graph reuse one warm engine (index, baseline state,
+  baseline follower snapshot) and serialise on its lock instead of racing;
+* per-session **memoisation** of deterministic requests plus the shared
+  cross-graph :class:`~repro.service.result_store.ResultStore`, which keeps
+  serving deterministic answers after session eviction (same gating rule:
+  non-``randomized`` solver, or an explicit ``seed``);
+* graph resolution through one cached
+  :class:`~repro.api.resolve.GraphResolver` (dataset names via the memoised
+  registry, file paths via the ``.npz`` SNAP pipeline, inline edge lists by
+  value).
 
-Determinism: a response's canonical payload (timings stripped) depends only
-on the request, never on batching, thread interleaving or cache state — the
-engine's :meth:`~repro.core.engine.SolverEngine.reset` restores everything a
-solver can observe, sessions serialise same-graph solves, and memo entries
-are only ever the canonical payload of a previous identical request.
-``tests/test_service.py`` hammers this property from many threads.
+Determinism: a response's canonical payload (timings and warmth-dependent
+work counters stripped) depends only on the spec, never on batching, thread
+interleaving, executor choice, transport or cache state.
+``tests/test_service.py`` hammers this property from many threads and the
+benchmark's ``api`` section asserts it across the full
+{thread, process} × {stdio, tcp} grid for every registered solver.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 import time
-from collections import OrderedDict
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.engine import get_solver
-from repro.datasets import graph_fingerprint, load_dataset, load_snap
+from repro.api.resolve import GraphResolver
+from repro.api.session import memoizable
+from repro.api.spec import SolveOutcome, SolveSpec, SpecError, result_to_json
+from repro.datasets.registry import dataset_fingerprint
 from repro.graph.graph import Graph
-from repro.service.protocol import ServiceRequest, ServiceResponse, result_to_json
+from repro.service import process_pool
+from repro.service.result_store import ResultStore
 from repro.service.session_cache import EngineSessionCache
 from repro.utils.errors import ReproError
 
-__all__ = ["SolveService"]
+__all__ = ["SolveService", "EXECUTORS"]
 
-#: Default worker-pool width.  Solves are CPU-bound pure Python, so more
-#: threads buy overlap of independent sessions (and responsiveness), not
-#: parallel speedup; a small pool keeps the GIL churn bounded.
+#: Default worker-pool width.  With the thread executor more workers buy
+#: overlap of independent sessions (and responsiveness), not parallel
+#: speedup; with the process executor they buy real cores.
 DEFAULT_WORKERS = 4
+
+#: Accepted ``executor`` values.
+EXECUTORS = ("thread", "process")
 
 
 class SolveService:
-    """Accepts :class:`ServiceRequest`\\ s concurrently and serves results.
+    """Accepts :class:`~repro.api.spec.SolveSpec`\\ s concurrently and serves
+    :class:`~repro.api.spec.SolveOutcome`\\ s.
 
     Usable as a context manager::
 
         with SolveService(workers=4, session_capacity=8) as service:
-            responses = service.solve_many(requests)
+            outcomes = service.solve_many(specs)
 
-    ``session_capacity`` bounds the warm-engine cache (``0`` = a cold engine
-    per request); ``memoize=False`` disables request-level memoisation
-    (session reuse still applies).
+    ``executor`` selects the worker pool: ``"thread"`` (default) or
+    ``"process"`` (pickled specs, per-worker session caches — real
+    cross-graph parallelism).  ``session_capacity`` bounds the warm-engine
+    cache (``0`` = a cold engine per request; for the process executor it
+    bounds each *worker's* cache); ``memoize=False`` disables request-level
+    memoisation **and** the shared result store (session reuse still
+    applies); ``store_capacity`` bounds the cross-graph result store
+    (``0`` disables just the store).
     """
 
     def __init__(
@@ -70,33 +86,44 @@ class SolveService:
         workers: int = DEFAULT_WORKERS,
         session_capacity: int = 8,
         memoize: bool = True,
+        executor: str = "thread",
+        store_capacity: int = 256,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if executor not in EXECUTORS:
+            raise SpecError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        self.executor = executor
         self.sessions = EngineSessionCache(session_capacity)
         self.memoize = memoize
+        self.store = ResultStore(store_capacity if memoize else 0)
+        # The thread pool is always the coordination layer (submission,
+        # ordering, response assembly); with executor="process" each of its
+        # workers blocks on a process-pool task instead of solving inline.
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-solve"
         )
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        if executor == "process":
+            # Workers inherit the service's cache semantics verbatim —
+            # session_capacity=0 stays "a cold engine per request" on their
+            # side of the process boundary too.
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=process_pool.init_worker,
+                initargs=(session_capacity, memoize),
+            )
         self._closed = False
-        # Resolved-graph caches (graph object + fingerprint): dataset names
-        # are invalidated by the graph's mutation counter, file paths by the
-        # file's (size, mtime) signature.  All three are capacity-bounded
-        # LRUs — a long-running serve fed many distinct graphs must not
-        # retain every Graph it ever resolved (the session cache already
-        # bounds the *warm* set; these only skip re-resolution).
-        self._graph_lock = threading.Lock()
-        self._resolve_capacity = 32
-        self._dataset_graphs: "OrderedDict[str, Tuple[Graph, int, str]]" = OrderedDict()
-        self._path_graphs: "OrderedDict[str, Tuple[Tuple[int, int], Graph, str]]" = (
-            OrderedDict()
-        )
-        # Inline edge lists repeat verbatim in batches; rebuilding the Graph
-        # and re-hashing it per request would tax exactly the warm path the
-        # session cache exists to make cheap.  Keyed by the edge tuple
-        # itself (equal tuples from different JSON lines hit too).
-        self._inline_graphs: "OrderedDict[Tuple, Tuple[Graph, str]]" = OrderedDict()
-        self._counters = {"requests": 0, "errors": 0, "memo_hits": 0}
+        self._resolver = GraphResolver()
+        # Process-mode fingerprint bookkeeping: source identity -> content
+        # fingerprint, learned from worker responses so the coordinator can
+        # consult the result store *before* dispatch without ever loading
+        # the graph itself (workers own resolution in process mode).
+        self._fingerprints: Dict[object, str] = {}
+        self._fingerprints_lock = threading.Lock()
+        self._counters = {"requests": 0, "errors": 0, "memo_hits": 0, "store_hits": 0}
         self._counters_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -105,6 +132,8 @@ class SolveService:
     def close(self, wait: bool = True) -> None:
         self._closed = True
         self._executor.shutdown(wait=wait)
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=wait)
 
     def __enter__(self) -> "SolveService":
         return self
@@ -113,11 +142,26 @@ class SolveService:
         self.close()
 
     def stats(self) -> Dict[str, object]:
-        """Serving counters plus the session cache's hit/miss/eviction stats."""
+        """Serving counters plus session-cache and result-store statistics."""
         with self._counters_lock:
             snapshot: Dict[str, object] = dict(self._counters)
+        snapshot["executor"] = self.executor
         snapshot["sessions"] = self.sessions.stats()
+        snapshot["result_store"] = self.store.stats()
         return snapshot
+
+    def session_info(self) -> Dict[str, object]:
+        """Cache-layer diagnostics: warm sessions plus the shared result store.
+
+        The cross-graph store's hit/miss counters live here (alongside
+        :meth:`stats`) so operators can see how much traffic outlived
+        session eviction.
+        """
+        return {
+            "executor": self.executor,
+            "sessions": self.sessions.stats(),
+            "result_store": self.store.stats(),
+        }
 
     def _count(self, key: str) -> None:
         with self._counters_lock:
@@ -126,11 +170,19 @@ class SolveService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, request: ServiceRequest) -> "Future[ServiceResponse]":
-        """Enqueue one request; the future resolves to its response.
+    @staticmethod
+    def _as_spec(request: object) -> SolveSpec:
+        if not isinstance(request, SolveSpec):
+            raise SpecError(
+                f"expected a repro.api.SolveSpec, got {type(request).__name__}"
+            )
+        return request
 
-        Never raises for a bad request — failures come back as ``ok=False``
-        responses, so one malformed entry cannot poison a batch.
+    def submit(self, request: SolveSpec) -> "Future[SolveOutcome]":
+        """Enqueue one spec; the future resolves to its outcome.
+
+        Never raises for a bad spec — failures come back as ``ok=False``
+        outcomes, so one malformed entry cannot poison a batch.
         """
         if self._closed:
             raise RuntimeError("service is closed")
@@ -138,181 +190,391 @@ class SolveService:
         return self._executor.submit(self._execute, request, submitted)
 
     def submit_sequence(
-        self, requests: Sequence[ServiceRequest]
-    ) -> "Future[List[ServiceResponse]]":
+        self, requests: Sequence[SolveSpec]
+    ) -> "Future[List[SolveOutcome]]":
         """Enqueue a group to run *sequentially* on one worker.
 
-        The batching layer groups same-graph requests and submits each group
-        through here: the group's first request warms the session and the
-        rest hit it back-to-back, while distinct groups still spread across
-        the pool.
+        The batching layer groups same-graph specs and submits each group
+        through here: the group's first spec warms the session and the rest
+        hit it back-to-back, while distinct groups still spread across the
+        pool.  With the process executor the whole group ships as one
+        worker task, so the warm-session semantics survive the process
+        boundary.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         submitted = time.perf_counter()
 
-        def _run() -> List[ServiceResponse]:
+        def _run() -> List[SolveOutcome]:
+            if self._process_pool is not None:
+                return self._execute_group_in_process(list(requests), submitted)
             return [self._execute(request, submitted) for request in requests]
 
         return self._executor.submit(_run)
 
-    def solve(self, request: ServiceRequest) -> ServiceResponse:
-        """Serve one request synchronously (no queueing)."""
+    def solve(self, request: SolveSpec) -> SolveOutcome:
+        """Serve one spec synchronously (no queueing)."""
         return self._execute(request, time.perf_counter())
 
-    def solve_many(self, requests: Iterable[ServiceRequest]) -> List[ServiceResponse]:
-        """Serve many requests concurrently; responses keep request order."""
+    def solve_many(self, requests: Iterable[SolveSpec]) -> List[SolveOutcome]:
+        """Serve many specs concurrently; outcomes keep request order."""
         futures = [self.submit(request) for request in requests]
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
-    # Graph resolution
-    # ------------------------------------------------------------------
-    def _resolve_graph(self, request: ServiceRequest) -> Tuple[Graph, str]:
-        """The request's graph plus its content fingerprint (both cached)."""
-        if request.dataset is not None:
-            name = request.dataset
-            graph = load_dataset(name)  # memoised by the registry
-            with self._graph_lock:
-                cached = self._dataset_graphs.get(name)
-                if (
-                    cached is not None
-                    and cached[0] is graph
-                    and cached[1] == graph._version
-                ):
-                    self._dataset_graphs.move_to_end(name)
-                    return graph, cached[2]
-            fingerprint = graph_fingerprint(graph)
-            with self._graph_lock:
-                self._dataset_graphs[name] = (graph, graph._version, fingerprint)
-                self._trim(self._dataset_graphs)
-            return graph, fingerprint
-        if request.edge_list is not None:
-            path = Path(request.edge_list)
-            try:
-                stat = path.stat()
-            except OSError as exc:
-                raise ReproError(f"edge-list file not found: {path}") from exc
-            signature = (stat.st_size, stat.st_mtime_ns)
-            key = str(path)
-            with self._graph_lock:
-                cached_entry = self._path_graphs.get(key)
-                if cached_entry is not None and cached_entry[0] == signature:
-                    self._path_graphs.move_to_end(key)
-                    return cached_entry[1], cached_entry[2]
-            graph = load_snap(path)  # .npz pipeline
-            fingerprint = graph_fingerprint(graph)
-            with self._graph_lock:
-                self._path_graphs[key] = (signature, graph, fingerprint)
-                self._trim(self._path_graphs)
-            return graph, fingerprint
-        assert request.edges is not None
-        try:
-            with self._graph_lock:
-                cached_inline = self._inline_graphs.get(request.edges)
-                if cached_inline is not None:
-                    self._inline_graphs.move_to_end(request.edges)
-                    return cached_inline
-        except TypeError:
-            cached_inline = None  # unhashable vertex labels: build fresh
-        graph = Graph.from_edges(request.edges)
-        fingerprint = graph_fingerprint(graph)
-        try:
-            with self._graph_lock:
-                self._inline_graphs[request.edges] = (graph, fingerprint)
-                self._trim(self._inline_graphs)
-        except TypeError:
-            pass
-        return graph, fingerprint
-
-    def _trim(self, cache: "OrderedDict") -> None:
-        """Drop LRU resolution entries beyond the capacity (lock held)."""
-        while len(cache) > self._resolve_capacity:
-            cache.popitem(last=False)
-
-    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    @staticmethod
-    def _memo_signature(request: ServiceRequest) -> Hashable:
-        return (
-            request.algorithm,
-            request.budget,
-            json.dumps(dict(request.params), sort_keys=True, default=repr),
-            request.initial_anchors,
-        )
+    def _resolve_graph(self, spec: SolveSpec) -> Tuple[Graph, str]:
+        """The spec's graph plus its content fingerprint (both cached)."""
+        return self._resolver.resolve(spec)
 
-    @staticmethod
-    def _memoizable(request: ServiceRequest) -> bool:
-        """Deterministic requests only: a memo answer must equal a re-run."""
-        spec = get_solver(request.algorithm)
-        return (not spec.randomized) or ("seed" in request.params)
+    def _store_key(self, spec: SolveSpec, fingerprint: str):
+        return (fingerprint, spec.signature())
 
-    def _execute(self, request: ServiceRequest, submitted: float) -> ServiceResponse:
+    def _execute(self, request: SolveSpec, submitted: float) -> SolveOutcome:
         started = time.perf_counter()
         self._count("requests")
+        spec: Optional[SolveSpec] = None
         try:
-            graph, fingerprint = self._resolve_graph(request)
-            engine_options = dict(request.engine)
-            key = (fingerprint, request.engine_key())
-            session, status = self.sessions.acquire(key, graph, engine_options)
-            memo_ok = self.memoize and self._memoizable(request)
-            signature = self._memo_signature(request) if memo_ok else None
-            with session.lock:
-                payload = session.memo_get(signature) if memo_ok else None
-                memo_hit = payload is not None
-                if payload is None:
-                    result = session.engine.solve(
-                        request.algorithm,
-                        request.budget,
-                        initial_anchors=request.initial_anchors,
-                        **dict(request.params),
-                    )
-                    payload = result_to_json(result)
-                    if memo_ok:
-                        session.memo_put(signature, payload)
-                session_info = session.engine.session_info()
-            if memo_hit:
-                self._count("memo_hits")
-            finished = time.perf_counter()
-            return ServiceResponse(
-                request_id=request.request_id,
-                ok=True,
-                result=payload,
-                fingerprint=fingerprint,
-                cache={
-                    "session": status,
-                    "memo": memo_hit,
-                    "engine_solve_count": session_info["solve_count"],
-                },
-                timings={
-                    "queued_s": round(started - submitted, 6),
-                    "solve_s": round(finished - started, 6),
-                },
-            )
+            spec = self._as_spec(request).require_source()
+            if self._process_pool is not None:
+                # Workers own graph resolution in process mode — the
+                # coordinator never loads the graph, it only consults the
+                # store under fingerprints it already knows.
+                hit = self._process_store_lookup(spec, submitted, started)
+                if hit is not None:
+                    return hit
+                payloads = self._process_pool.submit(
+                    process_pool.solve_specs_in_worker,
+                    [(spec, self._expected_fingerprint(spec))],
+                ).result()
+                return self._finish_process_outcome(
+                    spec, payloads[0], submitted, started
+                )
+            graph, fingerprint = self._resolve_graph(spec)
+            return self._execute_in_thread(spec, graph, fingerprint, submitted, started)
         except ReproError as exc:
             self._count("errors")
-            return ServiceResponse(
-                request_id=request.request_id,
-                ok=False,
-                error=str(exc),
-                timings={
-                    "queued_s": round(started - submitted, 6),
-                    "solve_s": round(time.perf_counter() - started, 6),
-                },
-            )
+            return self._error_outcome(spec, request, str(exc), submitted, started)
         except Exception as exc:  # noqa: BLE001 - serving boundary
             # The contract is "never raises for a bad request": anything a
-            # hand-crafted request can still trigger past the protocol
-            # validation (wrong-typed field values, exotic vertex labels)
-            # must come back as a failed response, not kill the loop.
+            # hand-crafted spec can still trigger past the validation
+            # (wrong-typed field values, exotic vertex labels) must come
+            # back as a failed outcome, not kill the loop.
             self._count("errors")
-            return ServiceResponse(
-                request_id=request.request_id,
-                ok=False,
-                error=f"internal error: {type(exc).__name__}: {exc}",
-                timings={
-                    "queued_s": round(started - submitted, 6),
-                    "solve_s": round(time.perf_counter() - started, 6),
-                },
+            return self._error_outcome(
+                spec,
+                request,
+                f"internal error: {type(exc).__name__}: {exc}",
+                submitted,
+                started,
             )
+
+    def _execute_in_thread(
+        self,
+        spec: SolveSpec,
+        graph: Graph,
+        fingerprint: str,
+        submitted: float,
+        started: float,
+    ) -> SolveOutcome:
+        key = (fingerprint, spec.engine_key())
+        session, status = self.sessions.acquire(key, graph, spec.engine_map)
+        memo_ok = self.memoize and memoizable(spec)
+        signature = spec.signature() if memo_ok else None
+        # The shared store is skipped on *detected* fingerprint collisions —
+        # a "bypass" while the cache holds entries means the cached graph
+        # differed from this one, so a stored payload could belong to the
+        # other graph.  With session_capacity=0 "bypass" is just the cold
+        # per-request mode (no collision detection possible, nothing
+        # cached); there the store stays live — it is exactly the
+        # configuration where answers would otherwise never be reused.
+        collision = status == "bypass" and self.sessions.capacity > 0
+        store_ok = memo_ok and self.store.enabled and not collision
+        store_hit = False
+        with session.lock:
+            payload = session.memo_get(signature) if memo_ok else None
+            memo_hit = payload is not None
+            if payload is None and store_ok:
+                payload = self.store.get(self._store_key(spec, fingerprint))
+                store_hit = payload is not None
+            if payload is None:
+                result = session.engine.solve_spec(spec)
+                payload = result_to_json(result)
+                if memo_ok:
+                    session.memo_put(signature, payload)
+            elif store_hit and memo_ok:
+                # Re-seed the (possibly rebuilt) session's memo so the next
+                # repeat short-circuits before even reaching the store.
+                session.memo_put(signature, payload)
+            session_info = session.engine.session_info()
+        if store_ok and not memo_hit and not store_hit:
+            self.store.put(self._store_key(spec, fingerprint), payload)
+        if memo_hit:
+            self._count("memo_hits")
+        if store_hit:
+            self._count("store_hits")
+        finished = time.perf_counter()
+        return SolveOutcome(
+            request_id=spec.request_id,
+            ok=True,
+            result=payload,
+            fingerprint=fingerprint,
+            cache={
+                "session": status,
+                "memo": memo_hit,
+                "store": store_hit,
+                "engine_solve_count": session_info["solve_count"],
+            },
+            timings={
+                "queued_s": round(started - submitted, 6),
+                "solve_s": round(finished - started, 6),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Process-executor paths
+    # ------------------------------------------------------------------
+    def _source_key(self, spec: SolveSpec) -> Optional[object]:
+        """A hashable identity for a spec's graph source, or ``None``.
+
+        Keys the coordinator's learned fingerprint map in process mode.
+        Edge-list paths carry the file's ``(size, mtime)`` so an edited
+        file gets a fresh fingerprint; inline edge tuples key by value;
+        dataset names are handled by the memoised registry helper instead.
+        """
+        if spec.edge_list is not None:
+            path = Path(spec.edge_list)
+            try:
+                stat = path.stat()
+            except OSError:
+                return None  # missing file: let the worker report the error
+            return ("path", str(path.resolve()), stat.st_size, stat.st_mtime_ns)
+        if spec.edges is not None:
+            try:
+                hash(spec.edges)
+            except TypeError:
+                return None  # exotic vertex labels: not cacheable
+            return ("edges", spec.edges)
+        return None
+
+    def _expected_fingerprint(self, spec: SolveSpec) -> Optional[str]:
+        """The coordinator's authoritative fingerprint, for worker validation.
+
+        Dataset sources resolve through *this* process's registry — the one
+        ``register_dataset`` mutates — so shipping the current fingerprint
+        lets a forked worker detect that its own (frozen-at-fork) registry
+        has gone stale and refuse loudly.  Unknown dataset names raise here,
+        matching the thread executor's behaviour.  File and inline sources
+        need no validation: workers resolve them from the same bytes.
+        """
+        if spec.dataset is not None:
+            return dataset_fingerprint(spec.dataset)
+        return None
+
+    def _known_fingerprint(self, spec: SolveSpec) -> Optional[str]:
+        """The cheapest available content fingerprint — never loads a graph.
+
+        Dataset fingerprints come from the memoised registry helper
+        (:func:`repro.datasets.dataset_fingerprint`); file and inline
+        sources are answered from the map learned off earlier worker
+        responses.  ``None`` simply means "dispatch and learn".
+        """
+        if spec.dataset is not None:
+            try:
+                return dataset_fingerprint(spec.dataset)
+            except ReproError:
+                return None  # unknown dataset: the worker reports the error
+        key = self._source_key(spec)
+        if key is None:
+            return None
+        with self._fingerprints_lock:
+            return self._fingerprints.get(key)
+
+    def _learn_fingerprint(self, spec: SolveSpec, fingerprint: str) -> None:
+        if spec.dataset is not None:
+            return  # served by the memoised registry helper
+        key = self._source_key(spec)
+        if key is None:
+            return
+        with self._fingerprints_lock:
+            self._fingerprints[key] = fingerprint
+            while len(self._fingerprints) > 1024:
+                self._fingerprints.pop(next(iter(self._fingerprints)))
+
+    def _process_store_lookup(
+        self, spec: SolveSpec, submitted: float, started: float
+    ) -> Optional[SolveOutcome]:
+        """Answer a process-mode spec from the shared store, if possible."""
+        if not (self.memoize and self.store.enabled):
+            return None
+        try:
+            if not memoizable(spec):
+                return None
+        except ReproError:
+            return None  # unknown solver: the worker reports the error
+        fingerprint = self._known_fingerprint(spec)
+        if fingerprint is None:
+            return None
+        payload = self.store.get(self._store_key(spec, fingerprint))
+        if payload is None:
+            return None
+        self._count("store_hits")
+        return SolveOutcome(
+            request_id=spec.request_id,
+            ok=True,
+            result=payload,
+            fingerprint=fingerprint,
+            cache={"session": "none", "memo": False, "store": True},
+            timings={
+                "queued_s": round(started - submitted, 6),
+                "solve_s": round(time.perf_counter() - started, 6),
+            },
+        )
+
+    def _execute_group_in_process(
+        self, requests: List[SolveSpec], submitted: float
+    ) -> List[SolveOutcome]:
+        """Run a same-session group as one process-pool task.
+
+        Specs the shared store can already answer never ship; the rest go
+        as one worker task so the group's warm-session semantics survive
+        the process boundary.
+        """
+        started = time.perf_counter()
+        outcomes: List[Optional[SolveOutcome]] = [None] * len(requests)
+        shippable: List[Tuple[int, SolveSpec, Optional[str]]] = []
+        for position, request in enumerate(requests):
+            self._count("requests")
+            try:
+                spec = self._as_spec(request).require_source()
+                hit = self._process_store_lookup(spec, submitted, started)
+                if hit is not None:
+                    outcomes[position] = hit
+                else:
+                    shippable.append(
+                        (position, spec, self._expected_fingerprint(spec))
+                    )
+            except ReproError as exc:
+                self._count("errors")
+                outcomes[position] = self._error_outcome(
+                    None, request, str(exc), submitted, started
+                )
+            except Exception as exc:  # noqa: BLE001 - serving boundary
+                self._count("errors")
+                outcomes[position] = self._error_outcome(
+                    None,
+                    request,
+                    f"internal error: {type(exc).__name__}: {exc}",
+                    submitted,
+                    started,
+                )
+        if shippable:
+            jobs = [(spec, expected) for _pos, spec, expected in shippable]
+            try:
+                payloads = self._process_pool.submit(  # type: ignore[union-attr]
+                    process_pool.solve_specs_in_worker, jobs
+                ).result()
+            except Exception:  # noqa: BLE001 - serving boundary
+                # One unshippable spec (e.g. an unpicklable parameter) must
+                # not poison the group: retry each job as its own task so
+                # the good specs keep their results and only the offender
+                # comes back as a failed outcome.
+                payloads = []
+                for job in jobs:
+                    try:
+                        payloads.append(
+                            self._process_pool.submit(  # type: ignore[union-attr]
+                                process_pool.solve_specs_in_worker, [job]
+                            ).result()[0]
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        payloads.append(
+                            {
+                                "ok": False,
+                                "error": (
+                                    f"internal error: {type(exc).__name__}: {exc}"
+                                ),
+                            }
+                        )
+            for (position, spec, _expected), payload in zip(shippable, payloads):
+                outcomes[position] = self._finish_process_outcome(
+                    spec, payload, submitted, started
+                )
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _finish_process_outcome(
+        self,
+        spec: SolveSpec,
+        payload: Dict[str, object],
+        submitted: float,
+        started: float,
+    ) -> SolveOutcome:
+        """Wrap a worker payload; learn its fingerprint and feed the store."""
+        finished = time.perf_counter()
+        timings = {
+            "queued_s": round(started - submitted, 6),
+            "solve_s": round(finished - started, 6),
+        }
+        if not payload.get("ok"):
+            self._count("errors")
+            return SolveOutcome(
+                request_id=spec.request_id,
+                ok=False,
+                error=str(payload.get("error") or "worker error"),
+                timings=timings,
+            )
+        cache = dict(payload.get("cache") or {})
+        cache["store"] = False
+        result = payload["result"]
+        fingerprint = payload.get("fingerprint")
+        if isinstance(fingerprint, str):
+            self._learn_fingerprint(spec, fingerprint)
+            # Same collision rule as the thread path: a worker "bypass"
+            # with warm sessions configured means a detected collision —
+            # keep such payloads out of the store.  Capacity-0 workers
+            # bypass on every request by design; their answers are fine.
+            collision = (
+                cache.get("session") == "bypass" and self.sessions.capacity > 0
+            )
+            if (
+                self.memoize
+                and self.store.enabled
+                and not collision
+                and memoizable(spec)
+            ):
+                self.store.put(self._store_key(spec, fingerprint), result)
+        if cache.get("memo"):
+            self._count("memo_hits")
+        return SolveOutcome(
+            request_id=spec.request_id,
+            ok=True,
+            result=result,  # type: ignore[arg-type]
+            fingerprint=fingerprint,
+            cache=cache,
+            timings=timings,
+        )
+
+    def _error_outcome(
+        self,
+        spec: Optional[SolveSpec],
+        request: object,
+        error: str,
+        submitted: float,
+        started: float,
+    ) -> SolveOutcome:
+        request_id = ""
+        if isinstance(spec, SolveSpec):
+            request_id = spec.request_id
+        elif isinstance(request, SolveSpec):
+            request_id = request.request_id
+        return SolveOutcome(
+            request_id=request_id,
+            ok=False,
+            error=error,
+            timings={
+                "queued_s": round(started - submitted, 6),
+                "solve_s": round(time.perf_counter() - started, 6),
+            },
+        )

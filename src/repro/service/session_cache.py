@@ -33,19 +33,19 @@ in-flight solve keeps its session alive until it finishes.
 
 from __future__ import annotations
 
-import copy
 import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.engine import SolverEngine
 from repro.graph.graph import Graph
+from repro.utils.lru import DEFAULT_MEMO_LIMIT, PayloadCache
 
 __all__ = ["EngineSession", "EngineSessionCache"]
 
-#: Entries kept in a session's memo before it is cleared wholesale (a memo
-#: is a per-session convenience, not a second cache layer to tune).
-MEMO_LIMIT = 128
+#: Entries kept in a session's memo (a memo is a per-session convenience,
+#: not a second cache layer to tune).  Alias of the shared default.
+MEMO_LIMIT = DEFAULT_MEMO_LIMIT
 
 
 class EngineSession:
@@ -58,24 +58,20 @@ class EngineSession:
         #: Serialises solves on this session (the engine is not thread-safe).
         self.lock = threading.Lock()
         #: Memoised canonical results of deterministic requests, keyed by the
-        #: scheduler's request signature.
-        self.memo: "OrderedDict[Hashable, dict]" = OrderedDict()
-        self.memo_hits = 0
+        #: scheduler's request signature.  Accessed under :attr:`lock`, so
+        #: the cache itself needs no lock of its own.
+        self.memo = PayloadCache(MEMO_LIMIT)
+
+    @property
+    def memo_hits(self) -> int:
+        return self.memo.hits
 
     def memo_get(self, signature: Hashable) -> Optional[dict]:
-        payload = self.memo.get(signature)
-        if payload is None:
-            return None
-        self.memo.move_to_end(signature)
-        self.memo_hits += 1
-        # Hand out a copy: response consumers may mutate their payload, and
-        # the memo must keep serving the pristine original.
-        return copy.deepcopy(payload)
+        """The memoised payload for ``signature`` (a deep copy), or ``None``."""
+        return self.memo.get(signature)
 
     def memo_put(self, signature: Hashable, payload: dict) -> None:
-        self.memo[signature] = copy.deepcopy(payload)
-        while len(self.memo) > MEMO_LIMIT:
-            self.memo.popitem(last=False)
+        self.memo.put(signature, payload)
 
 
 class EngineSessionCache:

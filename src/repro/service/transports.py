@@ -1,0 +1,240 @@
+"""Pluggable serve-loop transports: stdio and TCP, one shared line protocol.
+
+A transport's only job is to move JSON lines between clients and a
+:class:`~repro.service.scheduler.SolveService`; the framing, pipelining and
+ordering logic lives in one place (:func:`serve_stream`) and the payload
+codec lives in :mod:`repro.service.protocol` — both are reused unchanged by
+every transport, so adding one (a UNIX socket, a pipe pair) is a transport
+class, not a protocol fork:
+
+* :class:`StdioTransport` — the classic ``repro-atr serve`` loop: one JSON
+  request per stdin line, one JSON response per stdout line, until EOF;
+* :class:`TcpTransport` — a threading TCP server speaking the identical
+  JSON-lines protocol per connection; concurrent connections share the one
+  service (and therefore its warm sessions and result store).
+
+Both preserve the contract the stdio loop always had: responses come back
+in request order per stream, malformed lines produce ``ok=false`` responses
+in place, and ``#`` comments / blank lines are skipped.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import sys
+import threading
+from collections import deque
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.service.protocol import ProtocolError, parse_request_line
+from repro.api.spec import SolveOutcome
+from repro.service.scheduler import SolveService
+
+__all__ = [
+    "Transport",
+    "StdioTransport",
+    "TcpTransport",
+    "request_lines_over_tcp",
+    "serve_stream",
+]
+
+
+def serve_stream(
+    service: SolveService,
+    lines: Iterable[str],
+    write: Callable[[str], None],
+    id_prefix: str = "line",
+) -> int:
+    """The shared serve loop: pipelined JSON lines, responses in input order.
+
+    Requests are submitted as soon as they parse (the pool works ahead)
+    while completed responses drain in submission order.  A parse failure
+    flushes everything in flight first, so its ``ok=false`` response still
+    lands in the right place.  Returns the number of requests seen.
+    """
+    count = 0
+    pending: deque = deque()
+
+    def _drain(block: bool) -> None:
+        while pending and (block or pending[0].done()):
+            write(pending.popleft().result().to_json_line())
+
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        count += 1
+        try:
+            spec = parse_request_line(line, f"{id_prefix}-{line_number}")
+        except ProtocolError as exc:
+            # Keep input order: flush everything in flight, then report.
+            _drain(block=True)
+            error = SolveOutcome(
+                request_id=f"{id_prefix}-{line_number}", ok=False, error=str(exc)
+            )
+            write(error.to_json_line())
+            continue
+        pending.append(service.submit(spec))
+        _drain(block=False)
+    _drain(block=True)
+    return count
+
+
+class Transport:
+    """Interface: carry JSON-lines requests to a service and responses back.
+
+    ``serve(service)`` blocks until the transport's input is exhausted (or
+    the transport is closed) and returns the number of requests served.
+    """
+
+    def serve(self, service: SolveService) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class StdioTransport(Transport):
+    """One JSON request per stdin line, one JSON response per stdout line."""
+
+    def __init__(self, stdin=None, stdout=None) -> None:
+        self._stdin = stdin
+        self._stdout = stdout
+
+    def serve(self, service: SolveService) -> int:
+        stdin = self._stdin if self._stdin is not None else sys.stdin
+        stdout = self._stdout if self._stdout is not None else sys.stdout
+
+        def _write(line: str) -> None:
+            print(line, file=stdout, flush=True)
+
+        return serve_stream(service, stdin, _write)
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One client connection: the stdio loop over a socket stream."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via TcpTransport
+        server: "_LineServer" = self.server  # type: ignore[assignment]
+
+        def _lines():
+            for raw in self.rfile:
+                yield raw.decode("utf-8", errors="replace")
+
+        def _write(line: str) -> None:
+            self.wfile.write(line.encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+        try:
+            served = serve_stream(server.service, _lines(), _write)
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away mid-stream; nothing left to answer
+        with server.count_lock:
+            server.served += served
+
+
+class _LineServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SolveService) -> None:
+        super().__init__(address, _LineHandler)
+        self.service = service
+        self.served = 0
+        self.count_lock = threading.Lock()
+
+
+class TcpTransport(Transport):
+    """JSON lines over TCP; every connection gets the stdio loop's semantics.
+
+    ``port=0`` binds an ephemeral port (the bound address is available as
+    :attr:`address` once serving starts — used by the tests and the CI
+    smoke job).  ``serve`` blocks until :meth:`close` or ``Ctrl-C``;
+    :meth:`start` serves from a background thread for in-process embedding::
+
+        transport = TcpTransport(port=0)
+        host, port = transport.start(service)
+        ... connect, send request lines, read response lines ...
+        transport.close()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._server: Optional[_LineServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid once serving has started)."""
+        if self._server is None:
+            raise RuntimeError("transport is not serving")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def _bind(self, service: SolveService) -> "_LineServer":
+        if self._server is not None:
+            raise RuntimeError("transport is already serving")
+        self._server = _LineServer((self.host, self.port), service)
+        return self._server
+
+    def serve(
+        self,
+        service: SolveService,
+        ready: Optional[Callable[[Tuple[str, int]], None]] = None,
+    ) -> int:
+        """Serve until :meth:`close` (or KeyboardInterrupt); returns requests served.
+
+        ``ready`` is called with the bound ``(host, port)`` once the socket
+        is listening — the CLI uses it to announce the ephemeral port.
+        """
+        server = self._bind(service)
+        if ready is not None:
+            ready(self.address)
+        try:
+            server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            server.server_close()
+        return server.served
+
+    def start(self, service: SolveService) -> Tuple[str, int]:
+        """Serve from a background thread; returns the bound ``(host, port)``."""
+        server = self._bind(service)
+        self._thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.1}, daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def request_lines_over_tcp(
+    host: str, port: int, lines: Iterable[str], timeout: float = 60.0
+) -> list:
+    """Tiny line-protocol client: send request lines, return response lines.
+
+    Used by the tests, the CI smoke job and the benchmark's transport grid;
+    sends everything, half-closes the write side, then reads until EOF —
+    the server answers one response line per non-comment request line, in
+    order.
+    """
+    payload = "".join(line.rstrip("\n") + "\n" for line in lines)
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(payload.encode("utf-8"))
+        conn.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks).decode("utf-8").splitlines()

@@ -1,0 +1,106 @@
+"""Deprecation shims: ``SolveRequest`` / ``ServiceRequest`` / ``ServiceResponse``.
+
+Each shim must (1) emit a ``DeprecationWarning`` on construction, (2) behave
+exactly like the canonical ``repro.api`` type it adapts, and (3) produce
+**byte-identical** results when driven through the old code paths — the
+adapter-equivalence half of the ``repro.api`` v1 contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import SolveOutcome, SolveSpec, canonical_result, result_to_json
+from repro.core.engine import SolveRequest, SolverEngine, get_solver
+from repro.graph.generators import community_graph
+from repro.service import SolveService
+from repro.service.protocol import ServiceRequest, ServiceResponse, parse_request_line
+
+
+def small_graph(seed: int = 3):
+    return community_graph([10, 8], p_in=0.7, p_out=0.05, seed=seed)
+
+
+def canonical_json(payload: dict) -> str:
+    return json.dumps(canonical_result(payload), sort_keys=True)
+
+
+class TestSolveRequestShim:
+    def test_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="SolveRequest is deprecated"):
+            SolveRequest(budget=2)
+
+    def test_is_an_unbound_spec(self):
+        with pytest.warns(DeprecationWarning):
+            request = SolveRequest(budget=3, params={"candidates": "scan"})
+        assert isinstance(request, SolveSpec)
+        assert not request.has_source
+        assert request == SolveSpec(budget=3, params={"candidates": "scan"})
+        assert request.param("candidates") == "scan"
+
+    def test_old_solver_fn_path_is_byte_identical(self):
+        """Driving a solver fn with a SolveRequest equals the repro.api path."""
+        graph = small_graph()
+        with pytest.warns(DeprecationWarning):
+            request = SolveRequest(budget=2)
+        engine = SolverEngine(graph)
+        engine.reset(request.initial_anchors)
+        engine.solve_count += 1
+        old = get_solver("gas").fn(engine, request)
+        new = SolverEngine(graph).solve_spec(SolveSpec(algorithm="gas", budget=2))
+        assert canonical_json(result_to_json(old)) == canonical_json(result_to_json(new))
+
+
+class TestServiceRequestShim:
+    def test_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="ServiceRequest is deprecated"):
+            ServiceRequest(dataset="college")
+
+    def test_requires_a_source_like_before(self):
+        from repro.service import ProtocolError
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ProtocolError, match="exactly one graph source"):
+                ServiceRequest(algorithm="gas")
+
+    def test_wire_roundtrip_matches_canonical_parse(self):
+        with pytest.warns(DeprecationWarning):
+            request = ServiceRequest(
+                request_id="r1",
+                edges=((1, 2), (2, 3), (1, 3)),
+                algorithm="base",
+                budget=2,
+                params={"candidate_pool": "scan"},
+                engine={"tree_mode": "rebuild"},
+            )
+        parsed = parse_request_line(json.dumps(request.to_dict()))
+        assert parsed == request
+        assert type(parsed) is SolveSpec
+
+    def test_service_accepts_the_shim_byte_identically(self):
+        graph = small_graph(7)
+        edges = tuple(graph.edge_list())
+        with pytest.warns(DeprecationWarning):
+            old_request = ServiceRequest(
+                request_id="old", edges=edges, algorithm="gas", budget=2
+            )
+        spec = SolveSpec(request_id="new", edges=edges, algorithm="gas", budget=2)
+        with SolveService(workers=1) as service:
+            old_response = service.solve(old_request)
+            new_response = service.solve(spec)
+        assert old_response.ok and new_response.ok
+        assert canonical_json(old_response.result) == canonical_json(new_response.result)
+        # the shim and the spec share one cache identity
+        assert new_response.cache["memo"] is True
+
+
+class TestServiceResponseShim:
+    def test_construction_warns_and_adapts(self):
+        with pytest.warns(DeprecationWarning, match="ServiceResponse is deprecated"):
+            response = ServiceResponse(request_id="r", ok=False, error="nope")
+        assert isinstance(response, SolveOutcome)
+        assert response == SolveOutcome(request_id="r", ok=False, error="nope")
+        payload = json.loads(response.to_json_line())
+        assert payload["id"] == "r" and payload["ok"] is False

@@ -132,3 +132,43 @@ class TestServiceSection:
         from repro.core.engine import available_solvers
 
         assert set(available_solvers()) <= set(bench_kernel.SERVICE_DETERMINISM)
+
+
+class TestApiSection:
+    """PR 5's 'api' section plays by the same append-only rules — and the
+    curated trajectory now records it."""
+
+    def test_api_section_appends_and_is_guarded(self, tmp_path):
+        output = tmp_path / "bench.json"
+        write_report(output, {"service": {"v": 4}, "summary": {"a": 1}}, force=False)
+        write_report(
+            output,
+            {"api": {"identity_grid": {}}, "summary": {"api_identity_grid_identical": True}},
+            force=False,
+        )
+        with pytest.raises(SectionExistsError):
+            write_report(output, {"api": {"identity_grid": {"new": 1}}}, force=False)
+        data = json.loads(output.read_text(encoding="utf-8"))
+        assert data["api"] == {"identity_grid": {}}
+        assert data["summary"] == {"a": 1, "api_identity_grid_identical": True}
+
+    def test_repo_trajectory_records_the_api_section(self):
+        data = json.loads(
+            (REPO_ROOT / "BENCH_kernel.json").read_text(encoding="utf-8")
+        )
+        assert "api" in data
+        api_section = data["api"]
+        assert api_section["identity_grid"]["identical"] is True
+        # every registered solver must have an identity row covering the
+        # full path grid
+        from repro.core.engine import available_solvers
+
+        assert set(api_section["identity_grid"]["solvers"]) == set(available_solvers())
+        assert set(api_section["identity_grid"]["paths"]) == {
+            "solve_request", "api", "thread", "process", "stdio", "tcp",
+        }
+        # the warm-path rows must show the mechanism (zero round-1 recomputes)
+        assert api_section["summary"]["gas_warm_round1_recomputes"] == 0
+        assert api_section["summary"]["gas_warm_path_speedup_min"] >= 1.0
+        # the process-vs-thread row records its hardware context honestly
+        assert api_section["executors"]["cpu_count"] >= 1

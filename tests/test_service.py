@@ -19,6 +19,8 @@ import threading
 
 import pytest
 
+from repro.api import SolveOutcome, SolveSpec
+from repro.api import resolve as resolve_module
 from repro.core.engine import SolverEngine
 from repro.datasets import graph_fingerprint, materialize_dataset
 from repro.graph.generators import community_graph, overlapping_cliques_graph
@@ -26,8 +28,6 @@ from repro.graph.graph import Graph
 from repro.service import (
     EngineSessionCache,
     ProtocolError,
-    ServiceRequest,
-    ServiceResponse,
     SolveService,
     canonical_result,
     group_requests,
@@ -37,7 +37,6 @@ from repro.service import (
     run_batch,
     run_batch_file,
 )
-from repro.service import scheduler as scheduler_module
 
 
 def small_graph(seed: int) -> Graph:
@@ -48,15 +47,10 @@ def canonical_json(payload: dict) -> str:
     return json.dumps(canonical_result(payload), sort_keys=True)
 
 
-def single_shot(graph: Graph, request: ServiceRequest) -> str:
+def single_shot(graph: Graph, request: SolveSpec) -> str:
     """The ground truth: a fresh engine solving the same request."""
-    engine = SolverEngine(graph, **dict(request.engine))  # type: ignore[arg-type]
-    result = engine.solve(
-        request.algorithm,
-        request.budget,
-        initial_anchors=request.initial_anchors,
-        **dict(request.params),
-    )
+    engine = SolverEngine(graph, **request.engine_map)  # type: ignore[arg-type]
+    result = engine.solve_spec(request)
     return canonical_json(result_to_json(result))
 
 
@@ -72,7 +66,7 @@ class TestProtocol:
         assert request.request_id == "fallback"
 
     def test_roundtrip_through_to_dict(self):
-        request = ServiceRequest(
+        request = SolveSpec(
             request_id="r1",
             edges=((1, 2), (2, 3), (1, 3)),
             algorithm="base",
@@ -127,17 +121,24 @@ class TestProtocol:
         with pytest.raises(ProtocolError, match="invalid JSON"):
             parse_request_line("{nope")
 
-    def test_canonical_result_strips_only_timings(self):
+    def test_canonical_result_strips_volatile_fields_only(self):
         payload = {
             "gain": 3,
             "timings": {"elapsed_seconds": 1.0},
-            "extra": {"cumulative_seconds_per_round": [0.1], "engine": {"x": 1}},
+            "extra": {
+                "cumulative_seconds_per_round": [0.1],
+                "recomputed_entries_per_round": [120, 4],
+                "engine": {"x": 1},
+            },
         }
         canonical = canonical_result(payload)
+        # Wall-clock splits and warmth-dependent work counters go; solution
+        # content (and the reset-stable engine counters) stay.
         assert canonical == {"gain": 3, "extra": {"engine": {"x": 1}}}
         # and the input payload is untouched
         assert "timings" in payload
         assert "cumulative_seconds_per_round" in payload["extra"]
+        assert "recomputed_entries_per_round" in payload["extra"]
 
 
 # ---------------------------------------------------------------------------
@@ -194,7 +195,7 @@ class TestEngineSessionCache:
 class TestSolveService:
     def test_single_request_matches_single_shot(self):
         graph = small_graph(5)
-        request = ServiceRequest(
+        request = SolveSpec(
             request_id="r", edges=tuple(graph.edge_list()), algorithm="gas", budget=2
         )
         with SolveService(workers=2) as service:
@@ -205,7 +206,7 @@ class TestSolveService:
 
     def test_warm_session_and_memo_stay_byte_identical(self):
         graph = small_graph(6)
-        request = ServiceRequest(
+        request = SolveSpec(
             request_id="r", edges=tuple(graph.edge_list()), algorithm="base", budget=2
         )
         expected = single_shot(graph, request)
@@ -218,7 +219,7 @@ class TestSolveService:
 
     def test_memo_disabled_still_identical(self):
         graph = small_graph(6)
-        request = ServiceRequest(
+        request = SolveSpec(
             request_id="r", edges=tuple(graph.edge_list()), algorithm="gas", budget=2
         )
         with SolveService(workers=1, memoize=False) as service:
@@ -229,11 +230,11 @@ class TestSolveService:
     def test_randomized_solver_without_seed_not_memoized(self):
         graph = small_graph(7)
         edges = tuple(graph.edge_list())
-        unseeded = ServiceRequest(
+        unseeded = SolveSpec(
             request_id="u", edges=edges, algorithm="rand", budget=2,
             params={"repetitions": 3},
         )
-        seeded = ServiceRequest(
+        seeded = SolveSpec(
             request_id="s", edges=edges, algorithm="rand", budget=2,
             params={"repetitions": 3, "seed": 5},
         )
@@ -250,8 +251,8 @@ class TestSolveService:
     def test_engine_options_split_sessions(self):
         graph = small_graph(8)
         edges = tuple(graph.edge_list())
-        a = ServiceRequest(request_id="a", edges=edges, algorithm="gas", budget=2)
-        b = ServiceRequest(
+        a = SolveSpec(request_id="a", edges=edges, algorithm="gas", budget=2)
+        b = SolveSpec(
             request_id="b", edges=edges, algorithm="gas", budget=2,
             engine={"tree_mode": "rebuild"},
         )
@@ -266,13 +267,13 @@ class TestSolveService:
         graph = small_graph(9)
         edges = tuple(graph.edge_list())
         bad = [
-            ServiceRequest(request_id="unknown-solver", edges=edges, algorithm="nope"),
-            ServiceRequest(request_id="bad-budget", edges=edges, budget=10**6),
-            ServiceRequest(
+            SolveSpec(request_id="unknown-solver", edges=edges, algorithm="nope"),
+            SolveSpec(request_id="bad-budget", edges=edges, budget=10**6),
+            SolveSpec(
                 request_id="bad-param", edges=edges, algorithm="gas",
                 params={"tyop": 1},
             ),
-            ServiceRequest(request_id="no-file", edge_list="/does/not/exist.txt"),
+            SolveSpec(request_id="no-file", edge_list="/does/not/exist.txt"),
         ]
         with SolveService(workers=2) as service:
             responses = service.solve_many(bad)
@@ -285,7 +286,7 @@ class TestSolveService:
         # A list is not a hashable vertex label: Graph.add_edge raises
         # TypeError, which is not a ReproError — the catch-all must still
         # turn it into a failed response.
-        request = ServiceRequest(
+        request = SolveSpec(
             request_id="weird", edges=(((1,), 2), ((2,), 3)), algorithm="gas", budget=1
         )
         with SolveService(workers=1) as service:
@@ -295,8 +296,8 @@ class TestSolveService:
 
     def test_dataset_and_path_routes_share_a_session(self, tmp_path):
         path = materialize_dataset("college", tmp_path)
-        by_name = ServiceRequest(request_id="n", dataset="college", budget=1)
-        by_path = ServiceRequest(request_id="p", edge_list=str(path), budget=1)
+        by_name = SolveSpec(request_id="n", dataset="college", budget=1)
+        by_path = SolveSpec(request_id="p", edge_list=str(path), budget=1)
         with SolveService(workers=1) as service:
             first = service.solve(by_name)
             second = service.solve(by_path)
@@ -310,12 +311,12 @@ class TestSolveService:
         graph_a = small_graph(10)
         graph_b = overlapping_cliques_graph(3, 5, 2, noise_edges=4, seed=11)
         monkeypatch.setattr(
-            scheduler_module, "graph_fingerprint", lambda _graph: "collide"
+            resolve_module, "graph_fingerprint", lambda _graph: "collide"
         )
-        req_a = ServiceRequest(
+        req_a = SolveSpec(
             request_id="a", edges=tuple(graph_a.edge_list()), algorithm="gas", budget=2
         )
-        req_b = ServiceRequest(
+        req_b = SolveSpec(
             request_id="b", edges=tuple(graph_b.edge_list()), algorithm="gas", budget=2
         )
         with SolveService(workers=1) as service:
@@ -331,7 +332,7 @@ class TestSolveService:
     def test_eviction_under_small_capacity_stays_correct(self):
         graphs = [small_graph(20 + i) for i in range(3)]
         requests = [
-            ServiceRequest(
+            SolveSpec(
                 request_id=f"g{i}-{repeat}",
                 edges=tuple(graph.edge_list()),
                 algorithm="gas",
@@ -361,19 +362,19 @@ class TestConcurrency:
             edges = tuple(graph.edge_list())
             for repeat in range(2):
                 requests.append(
-                    ServiceRequest(
+                    SolveSpec(
                         request_id=f"{name}/gas/{repeat}", edges=edges,
                         algorithm="gas", budget=2,
                     )
                 )
                 requests.append(
-                    ServiceRequest(
+                    SolveSpec(
                         request_id=f"{name}/base/{repeat}", edges=edges,
                         algorithm="base", budget=1,
                     )
                 )
                 requests.append(
-                    ServiceRequest(
+                    SolveSpec(
                         request_id=f"{name}/sup/{repeat}", edges=edges,
                         algorithm="sup", budget=2,
                         params={"seed": 13, "repetitions": 3},
@@ -395,7 +396,7 @@ class TestConcurrency:
     def test_submissions_from_many_threads(self):
         graph = small_graph(50)
         edges = tuple(graph.edge_list())
-        request = ServiceRequest(
+        request = SolveSpec(
             request_id="r", edges=edges, algorithm="gas", budget=2
         )
         expected = single_shot(graph, request)
@@ -425,10 +426,10 @@ class TestConcurrency:
 # ---------------------------------------------------------------------------
 class TestBatching:
     def test_group_requests_by_session_identity(self):
-        a = ServiceRequest(request_id="1", dataset="college")
-        b = ServiceRequest(request_id="2", dataset="facebook")
-        c = ServiceRequest(request_id="3", dataset="college")
-        d = ServiceRequest(
+        a = SolveSpec(request_id="1", dataset="college")
+        b = SolveSpec(request_id="2", dataset="facebook")
+        c = SolveSpec(request_id="3", dataset="college")
+        d = SolveSpec(
             request_id="4", dataset="college", engine={"tree_mode": "rebuild"}
         )
         assert group_requests([a, b, c, d]) == [[0, 2], [1], [3]]
@@ -436,7 +437,7 @@ class TestBatching:
     def test_run_batch_preserves_input_order(self):
         graphs = [small_graph(60 + i) for i in range(2)]
         requests = [
-            ServiceRequest(
+            SolveSpec(
                 request_id=str(i),
                 edges=tuple(graphs[i % 2].edge_list()),
                 algorithm="gas",
@@ -485,4 +486,4 @@ class TestBatching:
         assert len(parsed) == 1
         request, error = parsed[0]
         assert request is None
-        assert isinstance(error, ServiceResponse) and not error.ok
+        assert isinstance(error, SolveOutcome) and not error.ok
