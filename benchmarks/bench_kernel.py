@@ -28,21 +28,28 @@ Two generations of the same harness write into ``BENCH_kernel.json``:
   records the ROADMAP's paper-budget (b=100) heap-vs-scan GAS row on the
   largest stand-in loaded through the on-disk SNAP pipeline;
 * the **``api`` section** (PR 5) covers the ``repro.api`` v1 redesign: a
-  byte-identity grid of every registered solver across {old
-  ``SolveRequest`` path, ``repro.api``} x {thread, process} executors x
-  {stdio, tcp} transports, the process-pool vs thread-pool wall clock on a
-  4-graph Fig. 9 stand-in workload (target: >= 1.8x given >= 2 cores;
+  byte-identity grid of every registered solver across {raw solver-fn
+  path, ``repro.api``} x {thread, process} executors x {stdio, tcp}
+  transports, the process-pool vs thread-pool wall clock on a 4-graph
+  Fig. 9 stand-in workload (target: >= 1.8x given >= 2 cores;
   ``cpu_count`` is recorded so 1-core boxes read honestly), and the GAS
-  warm-path win from the persisted baseline follower cache.
+  warm-path win from the persisted baseline follower cache;
+* the **``resilience`` section** (PR 6) measures the resilience layer:
+  overload fast-reject latency (a shed request must answer in
+  microseconds, not solve time), worker-crash recovery wall clock (kill a
+  process worker, time until the rebuilt pool answers), and steady-state
+  throughput with admission control armed vs the unbounded service on the
+  same workload (target: >= 0.95x — bounded admission must be ~free when
+  not shedding).
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--full] [--smoke]
         [--engine-only] [--engine-v2-only] [--service-only] [--api-only]
-        [--force] [--output PATH]
+        [--resilience-only] [--force] [--output PATH]
 
 ``--engine-only`` / ``--engine-v2-only`` / ``--service-only`` /
-``--api-only`` recompute
+``--api-only`` / ``--resilience-only`` recompute
 just that section and
 merge it into the existing output file.  Sections already present in the
 output are **never overwritten** unless ``--force`` is given (the ROADMAP's
@@ -475,11 +482,11 @@ SERVICE_DETERMINISM = {
 
 
 def _service_requests(name: str, graph: Graph, repeat: int) -> list:
-    from repro.service import ServiceRequest
+    from repro.api import SolveSpec
 
     edges = tuple(graph.edge_list())
     return [
-        ServiceRequest(
+        SolveSpec(
             request_id=f"{name}/{algorithm}/b{budget}/{round_index}",
             edges=edges,
             algorithm=algorithm,
@@ -541,8 +548,9 @@ def bench_service_determinism(exact_graph: Graph) -> Dict[str, object]:
     is submitted to the warm service twice — the second answer comes from
     the session/memo — and both must match the canonical single-shot result.
     """
+    from repro.api import SolveSpec
     from repro.core.engine import available_solvers, get_solver
-    from repro.service import ServiceRequest, SolveService, canonical_result
+    from repro.service import SolveService, canonical_result
 
     missing = set(available_solvers()) - set(SERVICE_DETERMINISM)
     if missing:  # pragma: no cover - trips when a solver gains no row
@@ -563,7 +571,7 @@ def bench_service_determinism(exact_graph: Graph) -> Dict[str, object]:
             expected = json.dumps(
                 canonical_result(result_to_json_payload(single)), sort_keys=True
             )
-            request = ServiceRequest(
+            request = SolveSpec(
                 request_id=f"determinism/{solver_name}",
                 edges=edges,
                 algorithm=solver_name,
@@ -691,18 +699,18 @@ def merge_service_summary(report: Dict[str, object]) -> None:
 def bench_api_identity_grid(exact_graph: Graph) -> Dict[str, object]:
     """Canonical byte-identity of every solver across every execution path.
 
-    For each registered solver the same canonical spec runs through: the old
-    ``SolveRequest`` solver-fn path (deprecation shim), ``repro.api.solve``,
-    a thread-executor service, a process-executor service, the stdio
-    transport and the TCP transport.  All six canonical payloads must be
-    byte-identical — the acceptance grid of the ``repro.api`` redesign.
+    For each registered solver the same canonical spec runs through: the raw
+    solver-fn path (a hand-driven ``SolverEngine``, the way embedding code
+    bypasses the service), ``repro.api.solve``, a thread-executor service, a
+    process-executor service, the stdio transport and the TCP transport.
+    All six canonical payloads must be byte-identical — the acceptance grid
+    of the ``repro.api`` redesign.
     """
     import io
-    import warnings
 
     import repro.api as api
     from repro.api import SolveSpec, canonical_result
-    from repro.core.engine import SolveRequest, SolverEngine, available_solvers, get_solver
+    from repro.core.engine import SolverEngine, available_solvers, get_solver
     from repro.service import (
         SolveService,
         StdioTransport,
@@ -717,7 +725,7 @@ def bench_api_identity_grid(exact_graph: Graph) -> Dict[str, object]:
             "extend SERVICE_DETERMINISM"
         )
     college = load_dataset("college")
-    paths = ("solve_request", "api", "thread", "process", "stdio", "tcp")
+    paths = ("solver_fn", "api", "thread", "process", "stdio", "tcp")
     rows: Dict[str, Dict[str, bool]] = {}
 
     with SolveService(workers=2, executor="thread") as thread_service, SolveService(
@@ -735,16 +743,17 @@ def bench_api_identity_grid(exact_graph: Graph) -> Dict[str, object]:
                 budget=budget,
                 params=dict(params),
             )
-            # 1. the deprecated SolveRequest path, driven like pre-v1 code did
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                request = SolveRequest(budget=budget, params=dict(params))
+            # 1. the raw solver-fn path: an unbound spec against a
+            # hand-driven engine, the way embedding code bypasses the service
+            unbound = SolveSpec(
+                algorithm=solver_name, budget=budget, params=dict(params)
+            )
             engine = SolverEngine(graph)
-            engine.reset(request.initial_anchors)
+            engine.reset(unbound.initial_anchors)
             engine.solve_count += 1
-            old_result = get_solver(solver_name).fn(engine, request)
+            raw_result = get_solver(solver_name).fn(engine, unbound)
             payloads = {
-                "solve_request": canonical_result(result_to_json_payload(old_result))
+                "solver_fn": canonical_result(result_to_json_payload(raw_result))
             }
             # 2. the canonical one-shot
             payloads["api"] = canonical_result(api.solve(spec).result)
@@ -766,7 +775,7 @@ def bench_api_identity_grid(exact_graph: Graph) -> Dict[str, object]:
             )
             payloads["tcp"] = canonical_result(json.loads(line)["result"])
 
-            expected = json.dumps(payloads["solve_request"], sort_keys=True)
+            expected = json.dumps(payloads["solver_fn"], sort_keys=True)
             row = {
                 path: json.dumps(payloads[path], sort_keys=True) == expected
                 for path in paths
@@ -888,7 +897,7 @@ def run_api_section(
 ) -> Dict[str, object]:
     section: Dict[str, object] = {
         "description": "repro.api v1: canonical byte-identity of every solver "
-        "across {old SolveRequest path, repro.api} x {thread, process} "
+        "across {raw solver-fn path, repro.api} x {thread, process} "
         "executors x {stdio, tcp} transports; process-pool vs thread-pool "
         "wall clock on a multi-graph batch (needs >= 2 cores to show "
         "parallelism); GAS warm-path win from the persisted baseline "
@@ -940,6 +949,209 @@ def merge_api_summary(report: Dict[str, object]) -> None:
     summary["api_process_vs_thread_speedup"] = api_summary["process_vs_thread_speedup"]
     summary["api_meets_process_target"] = api_summary["meets_process_target"]
     summary["api_gas_warm_path_speedup_min"] = api_summary["gas_warm_path_speedup_min"]
+
+
+# ---------------------------------------------------------------------------
+# PR 6: resilience layer — overload fast-reject, crash recovery, admission
+# overhead at steady state
+# ---------------------------------------------------------------------------
+def bench_resilience_fast_reject(samples: int) -> Dict[str, object]:
+    """Latency of a shed response while the service is saturated.
+
+    A shed request must cost an admission-counter check, not a solve: the
+    worker is pinned by a long fault-solver sleep, the queue depth is zero,
+    and every probe request is timed from ``submit`` to resolved future.
+    """
+    from repro.service import SolveService
+
+    edges = tuple(load_dataset("college").edge_list())
+    with SolveService(workers=1, max_inflight=1, max_queue_depth=0) as service:
+        blocker = service.submit(
+            _fault_probe_spec("blocker", edges, sleep_s=max(0.5, samples * 0.01))
+        )
+        latencies = []
+        for index in range(samples):
+            start = time.perf_counter()
+            outcome = service.submit(
+                _fault_probe_spec(f"probe-{index}", edges, nonce=index)
+            ).result()
+            latencies.append(time.perf_counter() - start)
+            if outcome.ok or outcome.error_kind != "overloaded":  # pragma: no cover
+                raise AssertionError(
+                    f"probe {index} was not shed: {outcome.canonical()}"
+                )
+        blocker.result()
+        shed = service.stats()["shed"]
+    latencies.sort()
+    return {
+        "samples": samples,
+        "shed": shed,
+        "p50_us": round(latencies[len(latencies) // 2] * 1e6, 1),
+        "p99_us": round(latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))] * 1e6, 1),
+        "max_us": round(latencies[-1] * 1e6, 1),
+    }
+
+
+def _fault_probe_spec(request_id: str, edges, **params):
+    from repro.api import SolveSpec
+    from repro.service.faults import FAULT_SOLVER
+
+    return SolveSpec(
+        request_id=request_id,
+        edges=edges,
+        algorithm=FAULT_SOLVER,
+        budget=1,
+        params=params,
+    )
+
+
+def bench_resilience_crash_recovery(rounds: int) -> Dict[str, object]:
+    """Wall clock from a worker crash to the rebuilt pool answering again.
+
+    Each round kills the single process worker with a crash fault
+    (``max_attempts=1``: no retry, so the number measures detection +
+    rebuild, not backoff) and times crash-submit -> next successful solve.
+    """
+    from repro.service import RetryPolicy, SolveService
+
+    edges = tuple(load_dataset("college").edge_list())
+    recovery_s = []
+    with SolveService(
+        workers=1,
+        executor="process",
+        retry_policy=RetryPolicy(max_attempts=1),
+    ) as service:
+        # Warm the pool so round one measures recovery, not process start-up.
+        if not service.solve(_fault_probe_spec("warm", edges)).ok:  # pragma: no cover
+            raise AssertionError("warm-up solve failed")
+        for index in range(rounds):
+            start = time.perf_counter()
+            crashed = service.solve(
+                _fault_probe_spec(f"crash-{index}", edges, fault="crash", nonce=index)
+            )
+            revived = service.solve(
+                _fault_probe_spec(f"revive-{index}", edges, nonce=index)
+            )
+            recovery_s.append(time.perf_counter() - start)
+            if crashed.error_kind != "worker_crash" or not revived.ok:  # pragma: no cover
+                raise AssertionError(
+                    f"round {index}: {crashed.canonical()} / {revived.canonical()}"
+                )
+        stats = service.stats()
+    return {
+        "rounds": rounds,
+        "mean_s": round(sum(recovery_s) / len(recovery_s), 4),
+        "max_s": round(max(recovery_s), 4),
+        "worker_crashes": stats["worker_crashes"],
+        "pool_rebuilds": stats["pool_rebuilds"],
+    }
+
+
+def bench_resilience_steady_state(repeat: int, workers: int) -> Dict[str, object]:
+    """Admission-control overhead when nothing is shed.
+
+    The identical GAS workload runs through an unbounded service and a
+    bounded one whose window is wide enough to admit everything; bounded
+    throughput must stay >= 0.95x (the counters are two lock acquisitions
+    per request — effectively free next to a solve).
+    """
+    from repro.api import SolveSpec
+    from repro.service import SolveService
+
+    edges = tuple(load_dataset("college").edge_list())
+    specs = [
+        SolveSpec(
+            request_id=f"steady-{index}",
+            edges=edges,
+            algorithm="gas",
+            budget=2,
+            params={},
+        )
+        for index in range(repeat)
+    ]
+
+    def run(**kwargs) -> float:
+        with SolveService(workers=workers, memoize=False, **kwargs) as service:
+            start = time.perf_counter()
+            outcomes = service.solve_many(specs)
+            elapsed = time.perf_counter() - start
+        if not all(outcome.ok for outcome in outcomes):  # pragma: no cover
+            raise AssertionError("steady-state workload failed")
+        return elapsed
+
+    unbounded_s = run()
+    bounded_s = run(max_inflight=workers, max_queue_depth=len(specs))
+    return {
+        "requests": repeat,
+        "workers": workers,
+        "unbounded_s": round(unbounded_s, 4),
+        "bounded_s": round(bounded_s, 4),
+        "throughput_ratio": round(unbounded_s / bounded_s, 3),
+    }
+
+
+def run_resilience_section(
+    reject_samples: int, crash_rounds: int, steady_repeat: int, workers: int
+) -> Dict[str, object]:
+    from repro.service.faults import install_fault_solver, uninstall_fault_solver
+
+    section: Dict[str, object] = {
+        "description": "resilience layer (PR 6): overload fast-reject latency "
+        "(shed = admission check, not solve time), worker-crash recovery "
+        "wall clock (detect BrokenProcessPool + rebuild + answer), and "
+        "steady-state throughput with admission control armed vs the "
+        "unbounded service on the same workload",
+        "targets": {"steady_state_throughput_ratio": 0.95},
+    }
+    install_fault_solver()
+    try:
+        print("== resilience: overload fast-reject latency ==")
+        entry = bench_resilience_fast_reject(reject_samples)
+        section["fast_reject"] = entry
+        print(
+            f"{entry['samples']} shed probes  p50 {entry['p50_us']}us  "
+            f"p99 {entry['p99_us']}us"
+        )
+        print("== resilience: worker-crash recovery ==")
+        entry = bench_resilience_crash_recovery(crash_rounds)
+        section["crash_recovery"] = entry
+        print(
+            f"{entry['rounds']} crash(es)  mean {entry['mean_s']}s  "
+            f"max {entry['max_s']}s  (rebuilds {entry['pool_rebuilds']})"
+        )
+        print("== resilience: steady-state admission overhead ==")
+        entry = bench_resilience_steady_state(steady_repeat, workers)
+        section["steady_state"] = entry
+        print(
+            f"{entry['requests']} requests  ratio {entry['throughput_ratio']}x  "
+            f"(unbounded {entry['unbounded_s']}s vs bounded {entry['bounded_s']}s)"
+        )
+    finally:
+        # Solver-table assertions elsewhere must never see the fault solver.
+        uninstall_fault_solver()
+    section["summary"] = {
+        "fast_reject_p99_us": section["fast_reject"]["p99_us"],
+        "crash_recovery_mean_s": section["crash_recovery"]["mean_s"],
+        "steady_state_throughput_ratio": section["steady_state"]["throughput_ratio"],
+        "meets_steady_state_target": section["steady_state"]["throughput_ratio"] >= 0.95,
+    }
+    return section
+
+
+def merge_resilience_summary(report: Dict[str, object]) -> None:
+    """Propagate the resilience summary into the top-level summary."""
+    resilience_summary = report["resilience"]["summary"]
+    summary = report.setdefault("summary", {})
+    summary["resilience_fast_reject_p99_us"] = resilience_summary["fast_reject_p99_us"]
+    summary["resilience_crash_recovery_mean_s"] = resilience_summary[
+        "crash_recovery_mean_s"
+    ]
+    summary["resilience_steady_state_throughput_ratio"] = resilience_summary[
+        "steady_state_throughput_ratio"
+    ]
+    summary["resilience_meets_steady_state_target"] = resilience_summary[
+        "meets_steady_state_target"
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -1033,6 +1245,13 @@ def main(argv: List[str] | None = None) -> int:
         "it to the existing output file",
     )
     parser.add_argument(
+        "--resilience-only",
+        action="store_true",
+        help="recompute only the 'resilience' section (PR 6: overload "
+        "fast-reject latency, worker-crash recovery, steady-state admission "
+        "overhead) and append it to the existing output file",
+    )
+    parser.add_argument(
         "--api-workers", type=int, default=4,
         help="worker count for the api section's thread-vs-process comparison",
     )
@@ -1106,6 +1325,7 @@ def main(argv: List[str] | None = None) -> int:
         }
         api_warm_graphs = {"college": load_dataset("college")}
         api_executor_budget, api_warm_budget = 1, 2
+        reject_samples, crash_rounds, steady_repeat = 50, 2, 8
     else:
         decomposition_datasets = ["patents", "pokec"] if args.full else ["patents"]
         follower_datasets = ["college", "facebook"]
@@ -1144,6 +1364,7 @@ def main(argv: List[str] | None = None) -> int:
             "pokec@0.5": api_executor_graphs["pokec@0.5"],
         }
         api_executor_budget, api_warm_budget = 2, 5
+        reject_samples, crash_rounds, steady_repeat = 200, 5, 24
 
     try:
         if args.engine_only:
@@ -1207,6 +1428,21 @@ def main(argv: List[str] | None = None) -> int:
             report = write_report(args.output, report, args.force)
             print(f"\nwrote {args.output} (api section only)")
             print(json.dumps(report["api"]["summary"], indent=2))
+            return 0
+
+        if args.resilience_only:
+            report = {
+                "resilience": run_resilience_section(
+                    reject_samples,
+                    crash_rounds,
+                    steady_repeat,
+                    workers=2,
+                )
+            }
+            merge_resilience_summary(report)
+            report = write_report(args.output, report, args.force)
+            print(f"\nwrote {args.output} (resilience section only)")
+            print(json.dumps(report["resilience"]["summary"], indent=2))
             return 0
     except SectionExistsError as exc:
         print(f"error: {exc}", file=sys.stderr)

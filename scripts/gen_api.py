@@ -33,7 +33,9 @@ from repro.datasets import snap as datasets_snap  # noqa: E402
 from repro.graph import graph as graph_module  # noqa: E402
 from repro.graph import index as index_module  # noqa: E402
 from repro.service import batching as service_batching  # noqa: E402
+from repro.service import faults as service_faults  # noqa: E402
 from repro.service import protocol as service_protocol  # noqa: E402
+from repro.service import resilience as service_resilience  # noqa: E402
 from repro.service import result_store as service_result_store  # noqa: E402
 from repro.service import scheduler as service_scheduler  # noqa: E402
 from repro.service import session_cache as service_session_cache  # noqa: E402
@@ -53,7 +55,6 @@ API_SURFACE = [
         engine,
         [
             "SolverEngine",
-            "SolveRequest",
             "CommitDelta",
             "SolverSpec",
             "register_solver",
@@ -113,18 +114,31 @@ SERVICE_SURFACE = [
     (service_session_cache, ["EngineSessionCache", "EngineSession"]),
     (service_result_store, ["ResultStore"]),
     (
+        service_resilience,
+        [
+            "AdmissionControl",
+            "RetryPolicy",
+            "ResilienceError",
+            "DeadlineExceeded",
+            "Overloaded",
+            "WorkerCrashed",
+            "classify_exception",
+            "remaining_deadline",
+        ],
+    ),
+    (
         service_transports,
         ["Transport", "StdioTransport", "TcpTransport", "serve_stream"],
     ),
     (
         service_protocol,
-        [
-            "ServiceRequest",
-            "ServiceResponse",
-            "parse_request_line",
-        ],
+        ["parse_request_line", "parse_control_line"],
     ),
     (service_batching, ["run_batch", "run_batch_file", "group_requests"]),
+    (
+        service_faults,
+        ["install_fault_solver", "uninstall_fault_solver", "send_and_drop"],
+    ),
 ]
 
 DATASETS_SURFACE = [
@@ -211,16 +225,19 @@ METHOD_ALLOWLIST = {
         "trussness_gain_from",
         "followers_relative_to",
     ],
-    "SolveRequest": ["param", "reject_initial_anchors"],
     "SolveService": [
         "solve",
         "solve_many",
         "submit",
         "submit_sequence",
         "stats",
+        "health",
+        "drain",
         "session_info",
         "close",
     ],
+    "AdmissionControl": ["try_admit", "start", "finish", "wait_idle", "snapshot"],
+    "RetryPolicy": ["delay", "schedule"],
     "EngineSessionCache": ["acquire", "stats"],
     "EngineSession": ["memo_get", "memo_put"],
     "ResultStore": ["get", "put", "stats"],

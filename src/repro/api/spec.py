@@ -23,10 +23,9 @@ them into one **versioned, typed, serializable** pair:
 Both carry ``schema_version`` (currently ``1``); a payload from a newer
 schema fails loudly instead of being half-understood.
 
-``SolveRequest`` (:mod:`repro.core.engine`) and ``ServiceRequest``
-(:mod:`repro.service.protocol`) remain as thin deprecated adapters over
-:class:`SolveSpec` for one release — they subclass it, emit a
-``DeprecationWarning`` on construction and behave identically otherwise.
+(The pre-v1 ``SolveRequest`` / ``ServiceRequest`` adapters served their
+one-release deprecation window and are gone; construct :class:`SolveSpec`
+directly.)
 
 This module deliberately imports nothing from :mod:`repro.core` or
 :mod:`repro.service` (only :mod:`repro.utils`), so the engine and every
@@ -45,6 +44,7 @@ from repro.utils.errors import ReproError
 __all__ = [
     "SCHEMA_VERSION",
     "ENGINE_OPTION_FIELDS",
+    "ERROR_KINDS",
     "SpecError",
     "SolveSpec",
     "SolveOutcome",
@@ -63,6 +63,14 @@ SCHEMA_VERSION = 1
 #: results (asserted by the engine equivalence tests).
 ENGINE_OPTION_FIELDS = ("tree_mode", "full_peel_threshold")
 
+#: The structured error taxonomy carried by failed :class:`SolveOutcome`\ s
+#: (``error_kind``).  ``timeout`` / ``overloaded`` / ``worker_crash`` are
+#: serving faults a client may retry; ``invalid`` is a malformed or
+#: unservable request (re-sending it cannot succeed); ``internal`` is a bug
+#: surfaced at the serving boundary.  Defined here (not in
+#: :mod:`repro.service.resilience`) so the wire types stay dependency-free.
+ERROR_KINDS = ("timeout", "overloaded", "worker_crash", "invalid", "internal")
+
 #: Top-level JSON fields of a serialized spec (anything else fails loudly —
 #: a typo'd field silently running with defaults is how batch results go
 #: subtly wrong).
@@ -77,6 +85,7 @@ _SPEC_JSON_FIELDS = (
     "params",
     "initial_anchors",
     "engine",
+    "deadline_s",
 )
 
 
@@ -165,6 +174,7 @@ class SolveSpec:
     edges: Optional[Tuple[Tuple[object, object], ...]] = None
     engine: Tuple[Tuple[str, object], ...] = ()
     request_id: str = ""
+    deadline_s: Optional[float] = None
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -180,6 +190,17 @@ class SolveSpec:
             raise SpecError(f"budget must be an integer, got {self.budget!r}")
         if not isinstance(self.request_id, str):
             raise SpecError(f"request id must be a string, got {self.request_id!r}")
+        if self.deadline_s is not None:
+            if (
+                not isinstance(self.deadline_s, (int, float))
+                or isinstance(self.deadline_s, bool)
+                or self.deadline_s <= 0
+            ):
+                raise SpecError(
+                    f"deadline_s must be a positive number of seconds, "
+                    f"got {self.deadline_s!r}"
+                )
+            set_(self, "deadline_s", float(self.deadline_s))
         sources = [s for s in (self.dataset, self.edge_list, self.edges) if s is not None]
         if len(sources) > 1:
             raise SpecError(
@@ -207,14 +228,13 @@ class SolveSpec:
                     f"engine option {option!r} must be a scalar, got {value!r}"
                 )
 
-    # -- equality spans the deprecation shims -------------------------------
+    # -- equality spans subclasses ------------------------------------------
     def _identity(self) -> Tuple[object, ...]:
         return tuple(getattr(self, spec_field.name) for spec_field in fields(SolveSpec))
 
     def __eq__(self, other: object) -> bool:
-        # Deliberately *not* the dataclass exact-class equality: the
-        # SolveRequest / ServiceRequest deprecation shims subclass SolveSpec
-        # and must compare equal to the spec they stand for.
+        # Deliberately *not* the dataclass exact-class equality: adapters
+        # subclassing SolveSpec must compare equal to the spec they wrap.
         if not isinstance(other, SolveSpec):
             return NotImplemented
         return self._identity() == other._identity()
@@ -290,6 +310,10 @@ class SolveSpec:
         could observe them, so cache layers stay conservative.  The graph is
         identified separately (by fingerprint), so the source fields are
         excluded too: two routes to the same graph share cached results.
+        ``deadline_s`` is also excluded: it bounds *serving*, never the
+        result — a cached answer is served instantly and therefore always
+        within any deadline, so deadline'd and deadline-free repeats of one
+        question share a slot (and old specs keep their exact signature).
         """
         return (
             self.schema_version,
@@ -321,6 +345,10 @@ class SolveSpec:
             payload["initial_anchors"] = _thaw(self.initial_anchors)
         if self.engine:
             payload["engine"] = dict(self.engine)
+        if self.deadline_s is not None:
+            # Emitted only when set, so pre-deadline specs render the exact
+            # bytes they always did (the schema-compatibility contract).
+            payload["deadline_s"] = self.deadline_s
         return payload
 
     def canonical_json(self) -> str:
@@ -377,6 +405,7 @@ class SolveSpec:
             params=params,
             initial_anchors=payload.get("initial_anchors", ()),
             engine=engine,
+            deadline_s=payload.get("deadline_s"),  # type: ignore[arg-type]
         )
 
     @classmethod
@@ -484,6 +513,8 @@ _OUTCOME_JSON_FIELDS = (
     "id",
     "ok",
     "error",
+    "error_kind",
+    "retryable",
     "fingerprint",
     "cache",
     "timings",
@@ -496,18 +527,23 @@ class SolveOutcome:
     """The outcome of serving one :class:`SolveSpec`.
 
     ``result`` is the :func:`result_to_json` payload on success (``None`` on
-    failure, with ``error`` set); ``cache`` records how the caches served
-    the request (``session`` is ``"hit"``, ``"miss"`` or ``"bypass"``,
-    ``memo`` flags a per-session memo answer, ``store`` a shared
-    result-store answer); ``timings`` splits queueing from solving.  Frozen
-    and picklable, so process-executor workers can hand outcomes back
-    across process boundaries unchanged.
+    failure, with ``error`` set); failed outcomes additionally carry the
+    structured taxonomy — ``error_kind`` (one of :data:`ERROR_KINDS`) and
+    ``retryable`` — so clients can distinguish a shed or timed-out request
+    (safe to retry) from a malformed one (never retry); ``cache`` records
+    how the caches served the request (``session`` is ``"hit"``, ``"miss"``
+    or ``"bypass"``, ``memo`` flags a per-session memo answer, ``store`` a
+    shared result-store answer); ``timings`` splits queueing from solving.
+    Frozen and picklable, so process-executor workers can hand outcomes
+    back across process boundaries unchanged.
     """
 
     request_id: str = ""
     ok: bool = True
     result: Optional[dict] = None
     error: Optional[str] = None
+    error_kind: Optional[str] = None
+    retryable: Optional[bool] = None
     fingerprint: Optional[str] = None
     cache: Dict[str, object] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
@@ -519,11 +555,15 @@ class SolveOutcome:
                 f"unsupported schema_version {self.schema_version!r}; "
                 f"this build speaks v{SCHEMA_VERSION}"
             )
+        if self.error_kind is not None and self.error_kind not in ERROR_KINDS:
+            raise SpecError(
+                f"unknown error_kind {self.error_kind!r}; "
+                f"expected one of {ERROR_KINDS}"
+            )
 
     def __eq__(self, other: object) -> bool:
-        # Not the dataclass exact-class equality: the ServiceResponse
-        # deprecation shim subclasses SolveOutcome and must compare equal to
-        # the outcome it stands for.
+        # Not the dataclass exact-class equality: subclasses must compare
+        # equal to the outcome they stand for.
         if not isinstance(other, SolveOutcome):
             return NotImplemented
         return tuple(
@@ -533,7 +573,7 @@ class SolveOutcome:
         )
 
     def to_json_dict(self) -> dict:
-        return {
+        payload = {
             "schema_version": self.schema_version,
             "id": self.request_id,
             "ok": self.ok,
@@ -543,6 +583,13 @@ class SolveOutcome:
             "timings": dict(self.timings),
             "result": self.result,
         }
+        # Taxonomy fields are emitted only when classified, so outcomes of
+        # taxonomy-unaware producers (and every success) keep their exact
+        # pre-resilience byte shape.
+        if self.error_kind is not None:
+            payload["error_kind"] = self.error_kind
+            payload["retryable"] = bool(self.retryable)
+        return payload
 
     # Back-compat spelling used by the ServiceResponse era.
     def to_dict(self) -> dict:
@@ -569,6 +616,8 @@ class SolveOutcome:
             request_id=str(payload.get("id", "")),
             ok=bool(payload.get("ok", False)),
             error=payload.get("error"),  # type: ignore[arg-type]
+            error_kind=payload.get("error_kind"),  # type: ignore[arg-type]
+            retryable=payload.get("retryable"),  # type: ignore[arg-type]
             fingerprint=payload.get("fingerprint"),  # type: ignore[arg-type]
             cache=dict(payload.get("cache", {})),  # type: ignore[arg-type]
             timings=dict(payload.get("timings", {})),  # type: ignore[arg-type]
@@ -581,14 +630,21 @@ class SolveOutcome:
         Serving metadata (cache route, timings, warmth-dependent work
         counters) legitimately differs between a warm and a cold run, a
         thread and a process executor, a stdio and a TCP transport; this is
-        the part that must not.
+        the part that must not.  The error taxonomy is part of the core —
+        a shed request must classify as ``overloaded`` on every transport —
+        and is included only when set, so pre-taxonomy canonical forms are
+        unchanged.
         """
-        return {
+        canonical = {
             "id": self.request_id,
             "ok": self.ok,
             "error": self.error,
             "result": canonical_result(self.result) if self.result is not None else None,
         }
+        if self.error_kind is not None:
+            canonical["error_kind"] = self.error_kind
+            canonical["retryable"] = bool(self.retryable)
+        return canonical
 
     def raise_for_error(self) -> "SolveOutcome":
         """Raise :class:`~repro.utils.errors.ReproError` on a failed outcome."""

@@ -28,7 +28,12 @@ Sub-commands
 ``serve`` and ``batch`` accept ``--executor thread|process``: the process
 executor ships pickled specs to ``ProcessPoolExecutor`` workers (which
 rebuild sessions from graph fingerprints) for true cross-graph parallelism
-past the GIL.
+past the GIL.  They also take the resilience knobs ``--max-inflight`` /
+``--max-queue`` (bounded admission: excess load is shed with fast
+structured ``overloaded`` responses) and ``--deadline-default`` (a
+per-request deadline for specs that carry none); a TCP ``serve`` drains
+gracefully on SIGTERM — stops accepting, finishes in-flight requests,
+then exits.
 
 The solver table is a live view over the registry of
 :mod:`repro.core.engine` — registering a solver anywhere makes it available
@@ -106,6 +111,29 @@ def _build_parser() -> argparse.ArgumentParser:
             help="entries in the shared cross-graph result store, which "
             "survives session eviction (0 disables just the store)",
         )
+        command.add_argument(
+            "--max-inflight",
+            type=int,
+            default=None,
+            help="bound on concurrently-executing requests "
+            "(default: the worker count)",
+        )
+        command.add_argument(
+            "--max-queue",
+            type=int,
+            default=None,
+            help="requests allowed to wait behind the inflight bound; beyond "
+            "it the service sheds load with fast structured 'overloaded' "
+            "responses (default: unbounded, no shedding)",
+        )
+        command.add_argument(
+            "--deadline-default",
+            type=float,
+            default=None,
+            help="default per-request deadline in seconds, applied to every "
+            "request that does not carry its own deadline_s "
+            "(default: no deadline)",
+        )
 
     serve = sub.add_parser(
         "serve",
@@ -158,6 +186,9 @@ def _make_service(args: argparse.Namespace):
         memoize=not args.no_memo,
         executor=args.executor,
         store_capacity=args.store_capacity,
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.max_queue,
+        default_deadline_s=args.deadline_default,
     )
 
 
@@ -200,11 +231,32 @@ def _run_solve(args: argparse.Namespace) -> int:
 
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` loop behind a pluggable transport."""
+    import signal
+    import threading
+
     from repro.service import StdioTransport, TcpTransport
 
     with _make_service(args) as service:
         if args.transport == "tcp":
             transport = TcpTransport(host=args.host, port=args.port)
+
+            def _graceful_drain(signum, _frame):  # pragma: no cover - signals
+                # SIGTERM = graceful shutdown: stop accepting, finish what's
+                # in flight, then release the socket.  transport.close()
+                # blocks on server.shutdown(), which deadlocks if called
+                # from the serve_forever thread this handler interrupts —
+                # so the drain runs on its own thread.
+                def _drain() -> None:
+                    print("draining (signal received)...", file=sys.stderr, flush=True)
+                    service.drain(timeout=30.0)
+                    transport.close(drain=True, timeout=30.0)
+
+                threading.Thread(target=_drain, daemon=True).start()
+
+            try:
+                signal.signal(signal.SIGTERM, _graceful_drain)
+            except ValueError:  # pragma: no cover - non-main-thread embedding
+                pass
             count = transport.serve(
                 service,
                 ready=lambda address: print(

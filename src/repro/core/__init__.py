@@ -21,7 +21,6 @@ from repro.core.akt import akt_greedy, anchored_k_truss
 from repro.core.component_tree import TreeNode, TrussComponentTree
 from repro.core.edge_deletion import edge_deletion_baseline
 from repro.core.engine import (
-    SolveRequest,  # deprecated shim over repro.api.SolveSpec
     SolveSpec,
     SolverEngine,
     SolverSpec,
@@ -66,7 +65,6 @@ __all__ = [
     "trussness_gain_of_anchor",
     "TrussComponentTree",
     "TreeNode",
-    "SolveRequest",
     "SolveSpec",
     "SolverEngine",
     "SolverSpec",

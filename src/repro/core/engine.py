@@ -53,7 +53,7 @@ decompositions on randomized anchored graphs.
 from __future__ import annotations
 
 import math
-import warnings
+import os
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -80,7 +80,6 @@ from repro.utils.errors import InvalidParameterError
 
 __all__ = [
     "CommitDelta",
-    "SolveRequest",
     "SolveSpec",
     "SolverEngine",
     "SolverSpec",
@@ -297,36 +296,6 @@ def _repeel_hull_layers(
 # ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
-class SolveRequest(SolveSpec):
-    """Deprecated: construct :class:`repro.api.SolveSpec` instead.
-
-    The engine-level call object of PR 2–4, kept for one release as a thin
-    adapter over the canonical spec: it behaves exactly like an *unbound*
-    ``SolveSpec`` (no graph source) and emits a :class:`DeprecationWarning`
-    on construction.  ``tests/test_api_shims.py`` asserts the old path stays
-    byte-identical to the ``repro.api`` path.
-    """
-
-    def __init__(
-        self,
-        budget: int,
-        initial_anchors: Tuple[Edge, ...] = (),
-        params: Optional[Mapping[str, object]] = None,
-    ) -> None:
-        warnings.warn(
-            "repro.core.engine.SolveRequest is deprecated; construct "
-            "repro.api.SolveSpec instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        SolveSpec.__init__(
-            self,
-            budget=budget,
-            initial_anchors=tuple(initial_anchors),
-            params=dict(params or {}),
-        )
-
-
 class SolverEngine:
     """Shared session state for one (or several) solves over a fixed graph.
 
@@ -979,6 +948,14 @@ def _ensure_builtin_solvers() -> None:
     import repro.core.gas  # noqa: F401
     import repro.core.greedy  # noqa: F401
     import repro.core.heuristics  # noqa: F401
+    if os.environ.get("REPRO_FAULT_SOLVER") == "1":
+        # The chaos suite armed fault injection (see repro.service.faults).
+        # Registries are per-process, so a process-pool worker would not
+        # know the test-only solver its coordinator registered; the env
+        # flag survives the fork and re-registers it here.
+        import repro.service.faults
+
+        repro.service.faults.install_fault_solver()
 
 
 def register_solver(

@@ -6,15 +6,25 @@ CLI's ``serve`` command), as request files (``batch``), or as spec objects
 in process; are routed through the solver registry by a
 :class:`SolveService` running a thread **or process** executor; and reuse
 warm engine sessions keyed by graph fingerprint plus a shared cross-graph
-result store that survives session eviction.  See ``docs/ARCHITECTURE.md``
-("Serving layer" and "Public API & transports") for the invariants.
+result store that survives session eviction.
 
-``ServiceRequest`` / ``ServiceResponse`` are deprecated adapters over
-:class:`repro.api.SolveSpec` / :class:`repro.api.SolveOutcome`, kept for
-one release.
+The resilience layer (:mod:`repro.service.resilience`) gives the stack a
+failure story: per-request deadlines, worker-crash recovery with a bounded
+deterministic :class:`RetryPolicy`, bounded admission shedding excess load
+as structured ``overloaded`` outcomes, graceful drain and ``health``
+introspection — all proven by the deterministic fault-injection points in
+:mod:`repro.service.faults`.  See ``docs/ARCHITECTURE.md`` ("Serving
+layer", "Public API & transports" and "Resilience layer") for the
+invariants.
 """
 
-from repro.api.spec import SolveOutcome, SolveSpec, canonical_result, result_to_json
+from repro.api.spec import (
+    ERROR_KINDS,
+    SolveOutcome,
+    SolveSpec,
+    canonical_result,
+    result_to_json,
+)
 from repro.service.batching import (
     group_requests,
     read_request_file,
@@ -22,11 +32,21 @@ from repro.service.batching import (
     run_batch_file,
 )
 from repro.service.protocol import (
+    CONTROL_OPS,
     ProtocolError,
-    ServiceRequest,
-    ServiceResponse,
+    parse_control_line,
     parse_request,
     parse_request_line,
+)
+from repro.service.resilience import (
+    AdmissionControl,
+    DeadlineExceeded,
+    Overloaded,
+    ResilienceError,
+    RetryPolicy,
+    WorkerCrashed,
+    classify_exception,
+    remaining_deadline,
 )
 from repro.service.result_store import ResultStore
 from repro.service.scheduler import EXECUTORS, SolveService
@@ -40,24 +60,33 @@ from repro.service.transports import (
 )
 
 __all__ = [
+    "AdmissionControl",
+    "CONTROL_OPS",
+    "DeadlineExceeded",
+    "ERROR_KINDS",
     "EXECUTORS",
     "EngineSession",
     "EngineSessionCache",
+    "Overloaded",
     "ProtocolError",
+    "ResilienceError",
     "ResultStore",
-    "ServiceRequest",
-    "ServiceResponse",
+    "RetryPolicy",
     "SolveOutcome",
     "SolveSpec",
     "SolveService",
     "StdioTransport",
     "TcpTransport",
     "Transport",
+    "WorkerCrashed",
     "canonical_result",
+    "classify_exception",
     "group_requests",
+    "parse_control_line",
     "parse_request",
     "parse_request_line",
     "read_request_file",
+    "remaining_deadline",
     "request_lines_over_tcp",
     "result_to_json",
     "run_batch",

@@ -62,7 +62,11 @@ def read_request_file(path: PathLike) -> List[ParsedLine]:
                     (
                         None,
                         SolveOutcome(
-                            request_id=f"line-{line_number}", ok=False, error=str(exc)
+                            request_id=f"line-{line_number}",
+                            ok=False,
+                            error=str(exc),
+                            error_kind="invalid",
+                            retryable=False,
                         ),
                     )
                 )
@@ -106,7 +110,23 @@ def run_batch(
     ]
     responses: List[Optional[SolveOutcome]] = [None] * len(requests)
     for members, future in zip(groups, futures):
-        for position, response in zip(members, future.result()):
+        try:
+            group_responses = future.result()
+        except Exception as exc:  # noqa: BLE001 - serving boundary
+            # The service's contract is "never raises", but a group future
+            # is still a future — if one dies anyway (coordinator bug,
+            # interpreter teardown), fail its members, not the whole batch.
+            group_responses = [
+                SolveOutcome(
+                    request_id=requests[i].request_id,
+                    ok=False,
+                    error=f"internal error: {type(exc).__name__}: {exc}",
+                    error_kind="internal",
+                    retryable=False,
+                )
+                for i in members
+            ]
+        for position, response in zip(members, group_responses):
             responses[position] = response
     assert all(response is not None for response in responses)
     return responses  # type: ignore[return-value]

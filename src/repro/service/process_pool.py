@@ -70,6 +70,8 @@ def _solve_one(spec: SolveSpec, expected_fingerprint: Optional[str]) -> Dict[str
                     "(re-registered after the process pool started); "
                     "re-create the service to pick up the new registration"
                 ),
+                "error_kind": "invalid",
+                "retryable": False,
             }
         key = (fingerprint, spec.engine_key())
         session, status = _SESSIONS.acquire(key, graph, spec.engine_map)
@@ -95,12 +97,22 @@ def _solve_one(spec: SolveSpec, expected_fingerprint: Optional[str]) -> Dict[str
             },
         }
     except ReproError as exc:
-        return {"ok": False, "error": str(exc)}
+        return {
+            "ok": False,
+            "error": str(exc),
+            "error_kind": "invalid",
+            "retryable": False,
+        }
     except Exception as exc:  # noqa: BLE001 - serving boundary
         # Same contract as the thread path: anything a hand-crafted spec can
         # still trigger must come back as a failed payload, not poison the
         # worker (or worse, kill the pool with an unpicklable exception).
-        return {"ok": False, "error": f"internal error: {type(exc).__name__}: {exc}"}
+        return {
+            "ok": False,
+            "error": f"internal error: {type(exc).__name__}: {exc}",
+            "error_kind": "internal",
+            "retryable": False,
+        }
 
 
 def solve_specs_in_worker(jobs: List[WorkerJob]) -> List[Dict[str, object]]:

@@ -10,11 +10,11 @@ transports always used:
   required);
 * :func:`result_to_json` / :func:`canonical_result` are re-exported from
   the spec module — one rendering, one byte-identity comparand, shared by
-  the CLI, both executors and both transports;
-* :class:`ServiceRequest` and :class:`ServiceResponse` remain as
-  **deprecated adapters** for one release: they subclass the canonical
-  types, behave identically, and emit a :class:`DeprecationWarning` on
-  construction.
+  the CLI, both executors and both transports.
+
+(The PR 4 ``ServiceRequest`` / ``ServiceResponse`` adapters served their
+one-release deprecation window and are gone; construct the canonical
+types directly.)
 
 Determinism is part of the contract: for a deterministic solver the
 ``result`` payload of a service response is **byte-identical** (after
@@ -28,11 +28,10 @@ solver in the registry.
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, Mapping, Optional, Tuple
+import json
+from typing import Mapping, Optional, Tuple
 
 from repro.api.spec import (
-    SolveOutcome,
     SolveSpec,
     SpecError,
     canonical_result,
@@ -40,10 +39,10 @@ from repro.api.spec import (
 )
 
 __all__ = [
+    "CONTROL_OPS",
     "ProtocolError",
-    "ServiceRequest",
-    "ServiceResponse",
     "canonical_result",
+    "parse_control_line",
     "parse_request",
     "parse_request_line",
     "result_to_json",
@@ -70,80 +69,31 @@ def parse_request_line(line: str, default_id: str = "") -> SolveSpec:
     return SolveSpec.from_json_line(line, default_id=default_id).require_source()
 
 
-class ServiceRequest(SolveSpec):
-    """Deprecated: construct :class:`repro.api.SolveSpec` instead.
+#: Control operations the line protocol understands alongside solve
+#: requests.  A control line is ``{"op": "<name>"}`` — ``op`` cannot
+#: collide with solve requests because the spec codec rejects unknown
+#: fields, so no valid :class:`SolveSpec` line ever contains it.
+CONTROL_OPS = ("health",)
 
-    The PR 4 wire-request class, kept for one release as a thin adapter: it
-    is a :class:`SolveSpec` that requires a graph source at construction
-    (the old contract) and emits a :class:`DeprecationWarning`.
-    ``tests/test_api_shims.py`` asserts the old path stays byte-identical
-    to the ``repro.api`` path.
+
+def parse_control_line(line: str) -> Optional[Tuple[str, Mapping[str, object]]]:
+    """Recognise a control line; ``None`` means "not a control line".
+
+    Returns ``(op, payload)`` for a JSON object carrying a valid ``op``
+    field.  An *invalid* ``op`` value raises :class:`ProtocolError` (the
+    client clearly meant a control request); anything else — including
+    unparseable JSON — returns ``None`` so the solve-request codec can
+    produce its usual, more precise error.
     """
-
-    def __init__(
-        self,
-        request_id: str = "",
-        dataset: Optional[str] = None,
-        edge_list: Optional[str] = None,
-        edges: Optional[Tuple[Tuple[object, object], ...]] = None,
-        algorithm: str = "gas",
-        budget: int = 5,
-        params: Optional[Mapping[str, object]] = None,
-        initial_anchors: Tuple[Tuple[object, object], ...] = (),
-        engine: Optional[Mapping[str, object]] = None,
-    ) -> None:
-        warnings.warn(
-            "repro.service.ServiceRequest is deprecated; construct "
-            "repro.api.SolveSpec instead",
-            DeprecationWarning,
-            stacklevel=2,
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict) or "op" not in payload:
+        return None
+    op = payload["op"]
+    if op not in CONTROL_OPS:
+        raise ProtocolError(
+            f"unknown control op {op!r}; expected one of {CONTROL_OPS}"
         )
-        SolveSpec.__init__(
-            self,
-            request_id=request_id,
-            dataset=dataset,
-            edge_list=edge_list,
-            edges=edges,
-            algorithm=algorithm,
-            budget=budget,
-            params=dict(params or {}),
-            initial_anchors=initial_anchors,
-            engine=dict(engine or {}),
-        )
-        self.require_source()
-
-
-class ServiceResponse(SolveOutcome):
-    """Deprecated: construct :class:`repro.api.SolveOutcome` instead.
-
-    The PR 4 response class, kept for one release as a thin adapter with
-    the old constructor signature; the serving layer itself now produces
-    :class:`SolveOutcome`\\ s.
-    """
-
-    def __init__(
-        self,
-        request_id: str,
-        ok: bool,
-        result: Optional[dict] = None,
-        error: Optional[str] = None,
-        fingerprint: Optional[str] = None,
-        cache: Optional[Dict[str, object]] = None,
-        timings: Optional[Dict[str, float]] = None,
-    ) -> None:
-        warnings.warn(
-            "repro.service.ServiceResponse is deprecated; construct "
-            "repro.api.SolveOutcome instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        SolveOutcome.__init__(
-            self,
-            request_id=request_id,
-            ok=ok,
-            result=result,
-            error=error,
-            fingerprint=fingerprint,
-            cache=dict(cache or {}),
-            timings=dict(timings or {}),
-        )
+    return str(op), payload

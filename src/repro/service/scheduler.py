@@ -23,7 +23,16 @@ that it adds the serving concerns the bare engine does not have:
 * graph resolution through one cached
   :class:`~repro.api.resolve.GraphResolver` (dataset names via the memoised
   registry, file paths via the ``.npz`` SNAP pipeline, inline edge lists by
-  value).
+  value);
+* the **resilience layer** (:mod:`repro.service.resilience`): deadlines
+  enforced queue-side for every executor and dispatch-side (worker
+  kill-and-rebuild) for the process executor; worker-crash detection with
+  bounded deterministic-backoff re-dispatch; bounded admission
+  (``max_inflight`` / ``max_queue_depth``) shedding excess load with fast
+  structured ``overloaded`` outcomes; :meth:`SolveService.drain` and
+  :meth:`SolveService.health` for graceful shutdown and introspection.
+  Every failed outcome carries the structured
+  ``error_kind`` / ``retryable`` taxonomy.
 
 Determinism: a response's canonical payload (timings and warmth-dependent
 work counters stripped) depends only on the spec, never on batching, thread
@@ -38,15 +47,32 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.api.resolve import GraphResolver
 from repro.api.session import memoizable
-from repro.api.spec import SolveOutcome, SolveSpec, SpecError, result_to_json
+from repro.api.spec import (
+    ERROR_KINDS,
+    SolveOutcome,
+    SolveSpec,
+    SpecError,
+    result_to_json,
+)
 from repro.datasets.registry import dataset_fingerprint
 from repro.graph.graph import Graph
 from repro.service import process_pool
+from repro.service.resilience import (
+    AdmissionControl,
+    DeadlineExceeded,
+    Overloaded,
+    RetryPolicy,
+    WorkerCrashed,
+    classify_exception,
+    remaining_deadline,
+)
 from repro.service.result_store import ResultStore
 from repro.service.session_cache import EngineSessionCache
 from repro.utils.errors import ReproError
@@ -79,6 +105,15 @@ class SolveService:
     memoisation **and** the shared result store (session reuse still
     applies); ``store_capacity`` bounds the cross-graph result store
     (``0`` disables just the store).
+
+    Resilience knobs: ``max_inflight`` bounds concurrently-executing
+    requests (default: the worker count) and ``max_queue_depth`` the
+    requests allowed to wait behind them — with a depth set, excess load is
+    *shed* with a fast structured ``overloaded`` outcome instead of queueing
+    unboundedly (``None``, the default, keeps admission unbounded).
+    ``default_deadline_s`` applies to every spec that does not carry its own
+    ``deadline_s``; ``retry_policy`` bounds the re-dispatch of jobs lost to
+    process-pool worker crashes.
     """
 
     def __init__(
@@ -88,6 +123,10 @@ class SolveService:
         memoize: bool = True,
         executor: str = "thread",
         store_capacity: int = 256,
+        max_inflight: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        default_deadline_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -95,27 +134,34 @@ class SolveService:
             raise SpecError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
             )
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be > 0, got {default_deadline_s!r}"
+            )
         self.executor = executor
+        self.workers = workers
         self.sessions = EngineSessionCache(session_capacity)
         self.memoize = memoize
         self.store = ResultStore(store_capacity if memoize else 0)
+        self.admission = AdmissionControl(workers, max_inflight, max_queue_depth)
+        self.default_deadline_s = (
+            float(default_deadline_s) if default_deadline_s is not None else None
+        )
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         # The thread pool is always the coordination layer (submission,
         # ordering, response assembly); with executor="process" each of its
         # workers blocks on a process-pool task instead of solving inline.
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-solve"
         )
+        # The process pool is replaceable: a crash or a dispatch-timeout
+        # kill swaps in a fresh pool under _pool_lock (see _rebuild_pool).
+        self._pool_lock = threading.Lock()
         self._process_pool: Optional[ProcessPoolExecutor] = None
         if executor == "process":
-            # Workers inherit the service's cache semantics verbatim —
-            # session_capacity=0 stays "a cold engine per request" on their
-            # side of the process boundary too.
-            self._process_pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=process_pool.init_worker,
-                initargs=(session_capacity, memoize),
-            )
+            self._process_pool = self._new_process_pool()
         self._closed = False
+        self._draining = False
         self._resolver = GraphResolver()
         # Process-mode fingerprint bookkeeping: source identity -> content
         # fingerprint, learned from worker responses so the coordinator can
@@ -123,17 +169,100 @@ class SolveService:
         # the graph itself (workers own resolution in process mode).
         self._fingerprints: Dict[object, str] = {}
         self._fingerprints_lock = threading.Lock()
-        self._counters = {"requests": 0, "errors": 0, "memo_hits": 0, "store_hits": 0}
+        self._counters = {
+            "requests": 0,
+            "errors": 0,
+            "memo_hits": 0,
+            "store_hits": 0,
+            "shed": 0,
+            "expired": 0,
+            "dispatch_timeouts": 0,
+            "worker_crashes": 0,
+            "pool_rebuilds": 0,
+            "retries": 0,
+            "group_retries": 0,
+        }
         self._counters_lock = threading.Lock()
+
+    def _new_process_pool(self) -> ProcessPoolExecutor:
+        # Workers inherit the service's cache semantics verbatim —
+        # session_capacity=0 stays "a cold engine per request" on their
+        # side of the process boundary too.
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=process_pool.init_worker,
+            initargs=(self.sessions.capacity, self.memoize),
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, wait: bool = True) -> None:
         self._closed = True
+        self._draining = True
         self._executor.shutdown(wait=wait)
-        if self._process_pool is not None:
-            self._process_pool.shutdown(wait=wait)
+        with self._pool_lock:
+            if self._process_pool is not None:
+                self._process_pool.shutdown(wait=wait)
+        if wait:
+            # Release warm engines deterministically (each pins a graph, its
+            # index and baseline state); in-flight solves — there are none
+            # after a wait=True shutdown — would keep theirs alive anyway.
+            self.sessions.clear()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting work and wait for everything in flight to finish.
+
+        New submissions are shed with ``overloaded`` outcomes from the
+        moment this is called; returns ``True`` once every admitted request
+        completed, ``False`` if ``timeout`` expired first (work is still in
+        flight — the caller decides whether to abandon it).  Idempotent,
+        and the service itself stays usable for introspection
+        (:meth:`health`, :meth:`stats`) afterwards.
+        """
+        self._draining = True
+        return self.admission.wait_idle(timeout)
+
+    def health(self) -> Dict[str, object]:
+        """Readiness/introspection snapshot (JSON-serialisable).
+
+        Exposed on the line protocol as the ``{"op": "health"}`` control
+        request, so operators can probe a serving process without crafting
+        a solve.
+        """
+        if self._closed:
+            status = "closed"
+        elif self._draining:
+            status = "draining"
+        else:
+            status = "ok"
+        with self._counters_lock:
+            counters: Dict[str, object] = dict(self._counters)
+        with self._pool_lock:
+            pool = self._process_pool
+            pool_state: Optional[Dict[str, object]] = None
+            if self.executor == "process":
+                pool_state = {
+                    "alive": pool is not None and not getattr(pool, "_broken", False),
+                    "rebuilds": counters["pool_rebuilds"],
+                }
+        return {
+            "status": status,
+            "executor": self.executor,
+            "workers": self.workers,
+            "admission": self.admission.snapshot(),
+            "counters": counters,
+            "sessions": self.sessions.stats(),
+            "result_store": self.store.stats(),
+            "process_pool": pool_state,
+            "default_deadline_s": self.default_deadline_s,
+            "retry_policy": {
+                "max_attempts": self.retry_policy.max_attempts,
+                "base_delay_s": self.retry_policy.base_delay_s,
+                "backoff": self.retry_policy.backoff,
+                "max_delay_s": self.retry_policy.max_delay_s,
+            },
+        }
 
     def __enter__(self) -> "SolveService":
         return self
@@ -178,16 +307,54 @@ class SolveService:
             )
         return request
 
+    def _shed_outcome(self, request: object, submitted: float) -> SolveOutcome:
+        """A fast structured ``overloaded`` rejection (no executor round-trip)."""
+        self._count("requests")
+        self._count("errors")
+        self._count("shed")
+        if self._draining:
+            reason = "service is draining; not accepting new work"
+        else:
+            reason = (
+                "admission queue full "
+                f"(max_inflight={self.admission.max_inflight}, "
+                f"max_queue_depth={self.admission.max_queue_depth}); retry later"
+            )
+        return self._error_outcome(
+            None,
+            request,
+            reason,
+            submitted,
+            submitted,
+            kind="overloaded",
+            retryable=True,
+        )
+
+    def _run_admitted(self, request: SolveSpec, submitted: float) -> SolveOutcome:
+        self.admission.start()
+        try:
+            return self._execute(request, submitted)
+        finally:
+            self.admission.finish()
+
     def submit(self, request: SolveSpec) -> "Future[SolveOutcome]":
         """Enqueue one spec; the future resolves to its outcome.
 
         Never raises for a bad spec — failures come back as ``ok=False``
-        outcomes, so one malformed entry cannot poison a batch.
+        outcomes, so one malformed entry cannot poison a batch.  A request
+        beyond the admission window (or submitted while draining) resolves
+        immediately to a structured ``overloaded`` outcome without ever
+        touching the executor — shedding must stay fast under exactly the
+        load that made it necessary.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         submitted = time.perf_counter()
-        return self._executor.submit(self._execute, request, submitted)
+        if self._draining or not self.admission.try_admit():
+            shed: "Future[SolveOutcome]" = Future()
+            shed.set_result(self._shed_outcome(request, submitted))
+            return shed
+        return self._executor.submit(self._run_admitted, request, submitted)
 
     def submit_sequence(
         self, requests: Sequence[SolveSpec]
@@ -200,15 +367,30 @@ class SolveService:
         pool.  With the process executor the whole group ships as one
         worker task, so the warm-session semantics survive the process
         boundary.
+
+        Admission is all-or-nothing per group (admitting half a batch would
+        break the batching layer's ordering contract): a group that does
+        not fit the admission window is shed whole.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         submitted = time.perf_counter()
+        count = len(requests)
+        if self._draining or (count > 0 and not self.admission.try_admit(count)):
+            shed_all: "Future[List[SolveOutcome]]" = Future()
+            shed_all.set_result(
+                [self._shed_outcome(request, submitted) for request in requests]
+            )
+            return shed_all
 
         def _run() -> List[SolveOutcome]:
-            if self._process_pool is not None:
-                return self._execute_group_in_process(list(requests), submitted)
-            return [self._execute(request, submitted) for request in requests]
+            self.admission.start(count)
+            try:
+                if self.executor == "process":
+                    return self._execute_group_in_process(list(requests), submitted)
+                return [self._execute(request, submitted) for request in requests]
+            finally:
+                self.admission.finish(count)
 
         return self._executor.submit(_run)
 
@@ -231,43 +413,75 @@ class SolveService:
     def _store_key(self, spec: SolveSpec, fingerprint: str):
         return (fingerprint, spec.signature())
 
+    # ------------------------------------------------------------------
+    # Deadlines
+    # ------------------------------------------------------------------
+    def _effective_deadline(self, spec: SolveSpec) -> Optional[float]:
+        """The spec's own deadline, or the service default, or ``None``."""
+        if spec.deadline_s is not None:
+            return spec.deadline_s
+        return self.default_deadline_s
+
+    def _check_deadline(self, spec: SolveSpec, submitted: float) -> Optional[float]:
+        """Queue-side enforcement: expire a request *before* dispatching it.
+
+        Deadlines anchor at submission, so time spent waiting behind the
+        admission window counts; this runs on every executor (the thread
+        executor cannot interrupt a running solve, so queue-side is its
+        only enforcement point — dispatch-side enforcement is the process
+        executor's, via worker kill-and-rebuild).  Returns the remaining
+        budget for the dispatch-side timeout.
+        """
+        deadline_s = self._effective_deadline(spec)
+        remaining = remaining_deadline(deadline_s, submitted)
+        if remaining is not None and remaining <= 0:
+            self._count("expired")
+            raise DeadlineExceeded(
+                f"deadline_s={deadline_s} expired after "
+                f"{time.perf_counter() - submitted:.3f}s in queue (never dispatched)"
+            )
+        return remaining
+
     def _execute(self, request: SolveSpec, submitted: float) -> SolveOutcome:
         started = time.perf_counter()
         self._count("requests")
         spec: Optional[SolveSpec] = None
         try:
             spec = self._as_spec(request).require_source()
-            if self._process_pool is not None:
+            self._check_deadline(spec, submitted)
+            if self.executor == "process":
                 # Workers own graph resolution in process mode — the
                 # coordinator never loads the graph, it only consults the
                 # store under fingerprints it already knows.
                 hit = self._process_store_lookup(spec, submitted, started)
                 if hit is not None:
                     return hit
-                payloads = self._process_pool.submit(
-                    process_pool.solve_specs_in_worker,
+                payloads = self._dispatch_with_retry(
                     [(spec, self._expected_fingerprint(spec))],
-                ).result()
+                    lambda: remaining_deadline(
+                        self._effective_deadline(spec), submitted
+                    ),
+                )
                 return self._finish_process_outcome(
                     spec, payloads[0], submitted, started
                 )
             graph, fingerprint = self._resolve_graph(spec)
             return self._execute_in_thread(spec, graph, fingerprint, submitted, started)
-        except ReproError as exc:
-            self._count("errors")
-            return self._error_outcome(spec, request, str(exc), submitted, started)
         except Exception as exc:  # noqa: BLE001 - serving boundary
             # The contract is "never raises for a bad request": anything a
             # hand-crafted spec can still trigger past the validation
             # (wrong-typed field values, exotic vertex labels) must come
-            # back as a failed outcome, not kill the loop.
+            # back as a failed outcome, not kill the loop — classified by
+            # the resilience taxonomy so clients know what to do with it.
             self._count("errors")
+            kind, retryable = classify_exception(exc)
+            message = (
+                str(exc)
+                if isinstance(exc, ReproError)
+                else f"internal error: {type(exc).__name__}: {exc}"
+            )
             return self._error_outcome(
-                spec,
-                request,
-                f"internal error: {type(exc).__name__}: {exc}",
-                submitted,
-                started,
+                spec, request, message, submitted, started, kind, retryable
             )
 
     def _execute_in_thread(
@@ -335,6 +549,88 @@ class SolveService:
     # ------------------------------------------------------------------
     # Process-executor paths
     # ------------------------------------------------------------------
+    def _current_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            pool = self._process_pool
+        if pool is None:
+            raise RuntimeError("service has no process pool")
+        return pool
+
+    def _rebuild_pool(
+        self, broken: ProcessPoolExecutor, kill: bool = False
+    ) -> ProcessPoolExecutor:
+        """Replace a broken (or deliberately killed) pool with a fresh one.
+
+        Identity-checked under the pool lock so concurrent detectors of the
+        same failure rebuild exactly once; every other in-flight dispatch
+        against the dead pool surfaces ``BrokenProcessPool`` and re-enters
+        through its own retry loop against the fresh pool.  ``kill=True``
+        is the dispatch-timeout path: the workers are not dead, just stuck
+        past a deadline, so they are killed first (a thread cannot be
+        interrupted, but a process can).
+        """
+        with self._pool_lock:
+            if self._process_pool is not broken:
+                # Someone else already swapped the pool; use theirs.
+                return self._process_pool  # type: ignore[return-value]
+            if kill:
+                for worker in list(getattr(broken, "_processes", {}).values()):
+                    worker.kill()
+            broken.shutdown(wait=False, cancel_futures=True)
+            self._process_pool = self._new_process_pool()
+            self._count("pool_rebuilds")
+            return self._process_pool
+
+    def _dispatch_with_retry(
+        self,
+        jobs: List[process_pool.WorkerJob],
+        timeout_fn,
+    ):
+        """Ship jobs to the process pool, surviving crashes and deadlines.
+
+        ``timeout_fn`` re-evaluates the remaining deadline budget before
+        every attempt (``None`` = no deadline).  A dispatch timeout kills
+        and rebuilds the pool — the only way to reclaim a worker stuck in
+        a solve — and raises :class:`DeadlineExceeded`; a worker crash
+        rebuilds the pool and re-dispatches on the retry policy's
+        deterministic backoff schedule until it is exhausted
+        (:class:`WorkerCrashed`).
+        """
+        attempt = 0
+        while True:
+            timeout = timeout_fn()
+            if timeout is not None and timeout <= 0:
+                self._count("expired")
+                raise DeadlineExceeded(
+                    "deadline expired before re-dispatch "
+                    f"(after {attempt} crash retr{'y' if attempt == 1 else 'ies'})"
+                )
+            pool = self._current_pool()
+            future = pool.submit(process_pool.solve_specs_in_worker, jobs)
+            try:
+                return future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                self._count("dispatch_timeouts")
+                self._rebuild_pool(pool, kill=True)
+                raise DeadlineExceeded(
+                    f"deadline expired during dispatch (deadline budget "
+                    f"{timeout:.3f}s); worker killed and pool rebuilt"
+                ) from None
+            except BrokenProcessPool:
+                self._count("worker_crashes")
+                self._rebuild_pool(pool)
+                attempt += 1
+                if attempt >= self.retry_policy.max_attempts:
+                    raise WorkerCrashed(
+                        f"worker crashed serving this request; "
+                        f"{attempt} attempt(s) exhausted "
+                        f"(retry policy: {self.retry_policy})"
+                    ) from None
+                self._count("retries")
+                delay = self.retry_policy.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+
     def _source_key(self, spec: SolveSpec) -> Optional[object]:
         """A hashable identity for a spec's graph source, or ``None``.
 
@@ -432,6 +728,108 @@ class SolveService:
             },
         )
 
+    def _group_timeout(
+        self, specs: Sequence[SolveSpec], submitted: float
+    ) -> Optional[float]:
+        """The group dispatch's future timeout: the *loosest* member deadline.
+
+        A group ships as one worker task, so a single member's deadline
+        cannot interrupt it without killing everyone else's work too; only
+        when **every** member carries a deadline is a group timeout sound
+        (past the maximum remaining budget, all of them have expired).
+        Tighter individual deadlines are still honoured queue-side and in
+        the per-job fallback.
+        """
+        remainings: List[float] = []
+        for spec in specs:
+            deadline_s = self._effective_deadline(spec)
+            if deadline_s is None:
+                return None
+            remaining = remaining_deadline(deadline_s, submitted)
+            assert remaining is not None
+            remainings.append(remaining)
+        return max(remainings) if remainings else None
+
+    def _redispatch_individually(
+        self, jobs: List[process_pool.WorkerJob], submitted: float
+    ) -> List[Dict[str, object]]:
+        """Re-run a failed group's jobs as individual *concurrent* tasks.
+
+        One bad job (a crasher, an unpicklable parameter) must not poison
+        its group: every job becomes its own worker task, all submitted at
+        once so the good jobs re-run in parallel across workers.  Each job
+        keeps a private attempt counter — the retry policy bounds how often
+        *it* may be lost to a broken pool, and only the jobs that were lost
+        re-enter the next wave, so a repeat offender exhausts its own
+        retries without dragging finished jobs back in.
+        """
+        payloads: List[Optional[Dict[str, object]]] = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        pending = list(range(len(jobs)))
+        while pending:
+            pool = self._current_pool()
+            futures = [
+                (index, pool.submit(process_pool.solve_specs_in_worker, [jobs[index]]))
+                for index in pending
+            ]
+            retry_next: List[int] = []
+            broken = False
+            kill = False
+            for index, future in futures:
+                spec = jobs[index][0]
+                timeout = remaining_deadline(
+                    self._effective_deadline(spec), submitted
+                )
+                try:
+                    payloads[index] = future.result(timeout=timeout)[0]
+                except FuturesTimeoutError:
+                    self._count("dispatch_timeouts")
+                    broken = kill = True
+                    payloads[index] = {
+                        "ok": False,
+                        "error": (
+                            "deadline expired during dispatch; "
+                            "worker killed and pool rebuilt"
+                        ),
+                        "error_kind": "timeout",
+                        "retryable": True,
+                    }
+                except BrokenProcessPool:
+                    broken = True
+                    attempts[index] += 1
+                    if attempts[index] >= self.retry_policy.max_attempts:
+                        payloads[index] = {
+                            "ok": False,
+                            "error": (
+                                f"worker crashed serving this request; "
+                                f"{attempts[index]} attempt(s) exhausted "
+                                f"(retry policy: {self.retry_policy})"
+                            ),
+                            "error_kind": "worker_crash",
+                            "retryable": True,
+                        }
+                    else:
+                        self._count("retries")
+                        retry_next.append(index)
+                except Exception as exc:  # noqa: BLE001 - serving boundary
+                    payloads[index] = {
+                        "ok": False,
+                        "error": f"internal error: {type(exc).__name__}: {exc}",
+                        "error_kind": "internal",
+                        "retryable": False,
+                    }
+            if broken:
+                if not kill:
+                    self._count("worker_crashes")
+                self._rebuild_pool(pool, kill=kill)
+            pending = retry_next
+            if pending:
+                delay = self.retry_policy.delay(max(attempts[i] for i in pending))
+                if delay > 0:
+                    time.sleep(delay)
+        assert all(payload is not None for payload in payloads)
+        return payloads  # type: ignore[return-value]
+
     def _execute_group_in_process(
         self, requests: List[SolveSpec], submitted: float
     ) -> List[SolveOutcome]:
@@ -439,7 +837,10 @@ class SolveService:
 
         Specs the shared store can already answer never ship; the rest go
         as one worker task so the group's warm-session semantics survive
-        the process boundary.
+        the process boundary.  A group whose single task fails falls back
+        to concurrent per-job re-dispatch (counted in
+        ``stats()["group_retries"]``) so one bad member cannot take its
+        group down with it.
         """
         started = time.perf_counter()
         outcomes: List[Optional[SolveOutcome]] = [None] * len(requests)
@@ -448,6 +849,7 @@ class SolveService:
             self._count("requests")
             try:
                 spec = self._as_spec(request).require_source()
+                self._check_deadline(spec, submitted)
                 hit = self._process_store_lookup(spec, submitted, started)
                 if hit is not None:
                     outcomes[position] = hit
@@ -455,48 +857,54 @@ class SolveService:
                     shippable.append(
                         (position, spec, self._expected_fingerprint(spec))
                     )
-            except ReproError as exc:
-                self._count("errors")
-                outcomes[position] = self._error_outcome(
-                    None, request, str(exc), submitted, started
-                )
             except Exception as exc:  # noqa: BLE001 - serving boundary
                 self._count("errors")
+                kind, retryable = classify_exception(exc)
+                message = (
+                    str(exc)
+                    if isinstance(exc, ReproError)
+                    else f"internal error: {type(exc).__name__}: {exc}"
+                )
                 outcomes[position] = self._error_outcome(
-                    None,
-                    request,
-                    f"internal error: {type(exc).__name__}: {exc}",
-                    submitted,
-                    started,
+                    None, request, message, submitted, started, kind, retryable
                 )
         if shippable:
-            jobs = [(spec, expected) for _pos, spec, expected in shippable]
+            jobs: List[process_pool.WorkerJob] = [
+                (spec, expected) for _pos, spec, expected in shippable
+            ]
+            specs = [spec for _pos, spec, _expected in shippable]
+            pool = self._current_pool()
             try:
-                payloads = self._process_pool.submit(  # type: ignore[union-attr]
+                payloads = pool.submit(
                     process_pool.solve_specs_in_worker, jobs
-                ).result()
-            except Exception:  # noqa: BLE001 - serving boundary
-                # One unshippable spec (e.g. an unpicklable parameter) must
-                # not poison the group: retry each job as its own task so
-                # the good specs keep their results and only the offender
-                # comes back as a failed outcome.
-                payloads = []
-                for job in jobs:
-                    try:
-                        payloads.append(
-                            self._process_pool.submit(  # type: ignore[union-attr]
-                                process_pool.solve_specs_in_worker, [job]
-                            ).result()[0]
-                        )
-                    except Exception as exc:  # noqa: BLE001
-                        payloads.append(
-                            {
-                                "ok": False,
-                                "error": (
-                                    f"internal error: {type(exc).__name__}: {exc}"
-                                ),
-                            }
-                        )
+                ).result(timeout=self._group_timeout(specs, submitted))
+            except FuturesTimeoutError:
+                # Every member carried a deadline and even the loosest one
+                # has expired: the whole group is a timeout.
+                self._count("dispatch_timeouts")
+                self._rebuild_pool(pool, kill=True)
+                payloads = [
+                    {
+                        "ok": False,
+                        "error": (
+                            "deadline expired during group dispatch; "
+                            "worker killed and pool rebuilt"
+                        ),
+                        "error_kind": "timeout",
+                        "retryable": True,
+                    }
+                    for _ in jobs
+                ]
+            except Exception as exc:  # noqa: BLE001 - serving boundary
+                # One bad job (a crasher, an unpicklable parameter) must
+                # not poison the group: re-dispatch each job as its own
+                # task — concurrently — so the good specs keep their
+                # results and only the offender fails.
+                if isinstance(exc, BrokenProcessPool):
+                    self._count("worker_crashes")
+                    self._rebuild_pool(pool)
+                self._count("group_retries")
+                payloads = self._redispatch_individually(jobs, submitted)
             for (position, spec, _expected), payload in zip(shippable, payloads):
                 outcomes[position] = self._finish_process_outcome(
                     spec, payload, submitted, started
@@ -519,10 +927,13 @@ class SolveService:
         }
         if not payload.get("ok"):
             self._count("errors")
+            kind = payload.get("error_kind")
             return SolveOutcome(
                 request_id=spec.request_id,
                 ok=False,
                 error=str(payload.get("error") or "worker error"),
+                error_kind=kind if kind in ERROR_KINDS else "invalid",
+                retryable=bool(payload.get("retryable", False)),
                 timings=timings,
             )
         cache = dict(payload.get("cache") or {})
@@ -563,6 +974,8 @@ class SolveService:
         error: str,
         submitted: float,
         started: float,
+        kind: str = "invalid",
+        retryable: bool = False,
     ) -> SolveOutcome:
         request_id = ""
         if isinstance(spec, SolveSpec):
@@ -573,6 +986,8 @@ class SolveService:
             request_id=request_id,
             ok=False,
             error=error,
+            error_kind=kind,
+            retryable=retryable,
             timings={
                 "queued_s": round(started - submitted, 6),
                 "solve_s": round(time.perf_counter() - started, 6),

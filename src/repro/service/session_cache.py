@@ -100,6 +100,21 @@ class EngineSessionCache:
         with self._lock:
             return len(self._sessions)
 
+    def clear(self) -> int:
+        """Drop every cached session; returns how many were released.
+
+        The memory half of a graceful shutdown: a drained service calls
+        this so warm engines (each pinning a graph, its index and baseline
+        state) are released deterministically instead of whenever the
+        service object happens to be collected.  In-flight solves keep
+        their sessions alive until they finish — dropping the cache's
+        reference is safe at any time.
+        """
+        with self._lock:
+            count = len(self._sessions)
+            self._sessions.clear()
+            return count
+
     def stats(self) -> Dict[str, int]:
         """A snapshot of the hit/miss/eviction/collision counters."""
         with self._lock:

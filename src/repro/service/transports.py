@@ -20,16 +20,25 @@ in place, and ``#`` comments / blank lines are skipped.
 
 from __future__ import annotations
 
+import json
+import logging
 import socket
 import socketserver
 import sys
 import threading
+import time
 from collections import deque
-from typing import Callable, Iterable, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
-from repro.service.protocol import ProtocolError, parse_request_line
+from repro.service.protocol import (
+    ProtocolError,
+    parse_control_line,
+    parse_request_line,
+)
 from repro.api.spec import SolveOutcome
 from repro.service.scheduler import SolveService
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "Transport",
@@ -51,32 +60,73 @@ def serve_stream(
     Requests are submitted as soon as they parse (the pool works ahead)
     while completed responses drain in submission order.  A parse failure
     flushes everything in flight first, so its ``ok=false`` response still
-    lands in the right place.  Returns the number of requests seen.
+    lands in the right place.  Control lines (``{"op": "health"}``) are
+    answered in place, outside the solve-request count.  Returns the
+    number of requests seen.
+
+    A client that vanishes mid-stream (reset, half-close, broken pipe)
+    does not raise out of the loop: reading stops, writes become no-ops,
+    and everything already submitted still drains so the service's
+    admission accounting completes — one flaky client can neither kill a
+    transport's serve loop nor leak admitted work.
     """
     count = 0
     pending: deque = deque()
+    client_gone = False
+
+    def _write(line: str) -> None:
+        nonlocal client_gone
+        if client_gone:
+            return
+        try:
+            write(line)
+        except OSError:
+            client_gone = True
 
     def _drain(block: bool) -> None:
         while pending and (block or pending[0].done()):
-            write(pending.popleft().result().to_json_line())
+            _write(pending.popleft().result().to_json_line())
 
-    for line_number, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        count += 1
-        try:
-            spec = parse_request_line(line, f"{id_prefix}-{line_number}")
-        except ProtocolError as exc:
-            # Keep input order: flush everything in flight, then report.
-            _drain(block=True)
-            error = SolveOutcome(
-                request_id=f"{id_prefix}-{line_number}", ok=False, error=str(exc)
-            )
-            write(error.to_json_line())
-            continue
-        pending.append(service.submit(spec))
-        _drain(block=False)
+    def _error_line(line_number: int, exc: ProtocolError) -> None:
+        # Keep input order: flush everything in flight, then report.
+        _drain(block=True)
+        _write(
+            SolveOutcome(
+                request_id=f"{id_prefix}-{line_number}",
+                ok=False,
+                error=str(exc),
+                error_kind="invalid",
+                retryable=False,
+            ).to_json_line()
+        )
+
+    try:
+        for line_number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if client_gone:
+                break
+            try:
+                control = parse_control_line(line)
+            except ProtocolError as exc:
+                _error_line(line_number, exc)
+                continue
+            if control is not None:
+                op, _payload = control
+                _drain(block=True)  # control responses keep input order too
+                _write(json.dumps({"op": op, **service.health()}, sort_keys=True))
+                continue
+            count += 1
+            try:
+                spec = parse_request_line(line, f"{id_prefix}-{line_number}")
+            except ProtocolError as exc:
+                _error_line(line_number, exc)
+                continue
+            pending.append(service.submit(spec))
+            _drain(block=False)
+    except OSError:
+        client_gone = True  # the *read* side died mid-stream
     _drain(block=True)
     return count
 
@@ -114,6 +164,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:  # pragma: no cover - exercised via TcpTransport
         server: "_LineServer" = self.server  # type: ignore[assignment]
+        server.track_handler(threading.current_thread())
 
         def _lines():
             for raw in self.rfile:
@@ -124,9 +175,14 @@ class _LineHandler(socketserver.StreamRequestHandler):
             self.wfile.flush()
 
         try:
+            # serve_stream absorbs mid-stream disconnects itself; anything
+            # still escaping (a reset between streams, a half-open socket
+            # torn down during setup) must not kill the serve loop either.
             served = serve_stream(server.service, _lines(), _write)
-        except (BrokenPipeError, ConnectionResetError):
-            return  # client went away mid-stream; nothing left to answer
+        except OSError:
+            return  # client went away; nothing left to answer
+        finally:
+            server.untrack_handler(threading.current_thread())
         with server.count_lock:
             server.served += served
 
@@ -140,6 +196,23 @@ class _LineServer(socketserver.ThreadingTCPServer):
         self.service = service
         self.served = 0
         self.count_lock = threading.Lock()
+        # ThreadingTCPServer does not track daemon handler threads; the
+        # transport's close() needs the live ones to drain (and to *name*
+        # the leak when one refuses to die).
+        self._handlers: set = set()
+        self._handlers_lock = threading.Lock()
+
+    def track_handler(self, thread: threading.Thread) -> None:
+        with self._handlers_lock:
+            self._handlers.add(thread)
+
+    def untrack_handler(self, thread: threading.Thread) -> None:
+        with self._handlers_lock:
+            self._handlers.discard(thread)
+
+    def live_handlers(self) -> List[threading.Thread]:
+        with self._handlers_lock:
+            return [thread for thread in self._handlers if thread.is_alive()]
 
 
 class TcpTransport(Transport):
@@ -206,15 +279,44 @@ class TcpTransport(Transport):
         self._thread.start()
         return self.address
 
-    def close(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
+    def close(self, drain: bool = False, timeout: float = 5.0) -> List[str]:
+        """Stop serving and release the socket (idempotent).
+
+        ``drain=True`` waits up to ``timeout`` seconds for in-flight
+        connections to finish their streams before releasing the socket —
+        the graceful half of a shutdown (pair it with
+        :meth:`SolveService.drain` to also wait out the executor).
+
+        Returns the names of any threads that failed to join within
+        ``timeout`` (also logged as warnings) — a stuck handler is a
+        *reported* leak now, never a silently dropped handle.
+        """
         server, self._server = self._server, None
+        leaked: List[str] = []
         if server is not None:
-            server.shutdown()
+            server.shutdown()  # stop accepting; serve_forever returns
+            handlers = server.live_handlers()
+            if drain:
+                deadline = time.monotonic() + timeout
+                for handler in handlers:
+                    handler.join(max(0.0, deadline - time.monotonic()))
+            leaked.extend(
+                handler.name for handler in handlers if handler.is_alive()
+            )
             server.server_close()
         if self._thread is not None:
-            self._thread.join(timeout=5)
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                leaked.append(self._thread.name)
             self._thread = None
+        if leaked:
+            logger.warning(
+                "TcpTransport.close: %d thread(s) failed to join within %.1fs: %s",
+                len(leaked),
+                timeout,
+                ", ".join(leaked),
+            )
+        return leaked
 
 
 def request_lines_over_tcp(
