@@ -30,6 +30,7 @@ from repro.api import spec as api_spec  # noqa: E402
 from repro.core import component_tree, engine, result, reuse  # noqa: E402
 from repro.datasets import registry as datasets_registry  # noqa: E402
 from repro.datasets import snap as datasets_snap  # noqa: E402
+from repro.graph import csr as csr_module  # noqa: E402
 from repro.graph import graph as graph_module  # noqa: E402
 from repro.graph import index as index_module  # noqa: E402
 from repro.service import batching as service_batching  # noqa: E402
@@ -40,6 +41,7 @@ from repro.service import result_store as service_result_store  # noqa: E402
 from repro.service import scheduler as service_scheduler  # noqa: E402
 from repro.service import session_cache as service_session_cache  # noqa: E402
 from repro.service import transports as service_transports  # noqa: E402
+from repro.truss import peel as peel_module  # noqa: E402
 from repro.truss import state as state_module  # noqa: E402
 
 #: (section title, module, [object names]) — the public surface, in reading
@@ -100,6 +102,21 @@ API_SURFACE = [
 GRAPH_SURFACE = [
     (graph_module, ["Graph"]),
     (index_module, ["GraphIndex", "peel_trussness"]),
+    (
+        csr_module,
+        ["CSRArrays", "build_csr_arrays", "csr_payload", "csr_from_payload"],
+    ),
+    (
+        peel_module,
+        [
+            "peel_trussness_fast",
+            "peel_trussness_arrays",
+            "set_peel_backend",
+            "get_peel_backend",
+            "resolve_peel_backend",
+            "numba_available",
+        ],
+    ),
     (state_module, ["TrussState"]),
 ]
 
@@ -213,7 +230,8 @@ METHOD_ALLOWLIST = {
         "subtree_node_ids",
         "node_signature",
     ],
-    "GraphIndex": ["of", "edge_support", "triangle_tuples", "neighbors_csr"],
+    "GraphIndex": ["of", "from_csr", "edge_support", "triangle_tuples", "neighbors_csr"],
+    "CSRArrays": ["hit_bases"],
     "TrussState": [
         "compute",
         "with_anchor",

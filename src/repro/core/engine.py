@@ -73,7 +73,8 @@ from repro.core.component_tree import TreePatchInfo, TrussComponentTree
 from repro.core.result import AnchorResult
 from repro.core.reuse import ReuseDecision, ReuseInvalidation, compute_reuse_decision
 from repro.graph.graph import Edge, Graph
-from repro.graph.index import GraphIndex, peel_trussness
+from repro.graph.index import GraphIndex
+from repro.truss.peel import peel_trussness_fast
 from repro.truss.decomposition import TrussDecomposition
 from repro.truss.state import TrussState
 from repro.utils.errors import InvalidParameterError
@@ -663,19 +664,16 @@ class SolverEngine:
             if members:
                 _repeel_hull_layers(index, new_truss, new_layer, k, members)
 
-        edge_of = index.edge_of
-        trussness: Dict[Edge, int] = dict(zip(edge_of, new_truss))
-        layer_dict: Dict[Edge, int] = dict(zip(edge_of, new_layer))
         anchor_set = frozenset(state.anchors | {new_anchor})
-        for anchor in anchor_set:
-            del trussness[anchor]
-            del layer_dict[anchor]
-        decomposition = TrussDecomposition(
-            trussness=trussness,
-            layer=layer_dict,
-            anchors=anchor_set,
-            k_max=k_max,
-            dense_views=(index, new_truss, new_layer, new_mask),
+        # Anchors already hold inf in the dense arrays; the tuple-domain
+        # dicts materialise lazily from them if a consumer ever asks.
+        decomposition = TrussDecomposition.from_dense(
+            index.edge_of,
+            new_truss,
+            new_layer,
+            anchor_set,
+            k_max,
+            (index, new_truss, new_layer, new_mask),
         )
         new_state = TrussState(graph=self.graph, anchors=anchor_set, decomposition=decomposition)
 
@@ -722,7 +720,7 @@ class SolverEngine:
             eid_of = index.eid_of
             anchor_eids = [eid_of[a] for a in state.anchors]
             anchor_eids.append(eid)
-            new_truss, _new_layer, _k_max = peel_trussness(index, anchor_eids)
+            new_truss, _new_layer, _k_max = peel_trussness_fast(index, anchor_eids)
             gain = 0
             for e2 in range(m):
                 if mask[e2] or e2 == eid:
@@ -758,7 +756,7 @@ class SolverEngine:
         )
         if dirty is None:
             self.stats["full_gain_evals"] += 1
-            new_truss: List[float] = list(peel_trussness(index, all_anchors)[0])
+            new_truss: List[float] = list(peel_trussness_fast(index, all_anchors)[0])
             for done in all_anchors:  # anchors carry the peeling sentinel 0
                 new_truss[done] = _INF
         else:

@@ -16,6 +16,12 @@ the benchmarks:
   source file's size and mtime and is rebuilt transparently when the source
   changes.  NumPy is optional: without it (or with ``use_cache=False``) the
   loader degrades to a plain text parse.
+* The same ``.npz`` also persists the :class:`~repro.graph.csr.CSRArrays`
+  of the graph (adjacency, hit table, per-edge support), so a warm load
+  restores the full :class:`~repro.graph.index.GraphIndex` without
+  re-enumerating triangles.  The payload is validated by the CSR format
+  version and the graph fingerprint before it is attached; any mismatch
+  (older cache, changed layout) silently falls back to a fresh build.
 * :func:`graph_fingerprint` derives a stable content hash of a graph
   (vertex count, edge count and every edge in id order).  The serving
   layer's engine-session cache is keyed by this fingerprint, so two
@@ -40,7 +46,9 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.datasets.registry import DatasetSpec, register_dataset
+from repro.graph.csr import csr_from_payload, csr_payload
 from repro.graph.graph import Graph
+from repro.graph.index import GraphIndex
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.utils.errors import ReproError
 
@@ -100,8 +108,17 @@ def _graph_from_pairs(pairs) -> Graph:
     return graph
 
 
-def _try_load_cache(cache_path: Path, signature: Tuple[int, int]) -> Optional[Graph]:
-    """Load the cached edge array if it matches ``signature`` (else ``None``)."""
+def _try_load_cache(
+    cache_path: Path, signature: Tuple[int, int]
+) -> Optional[Tuple[Graph, str]]:
+    """Load the cached edge array if it matches ``signature`` (else ``None``).
+
+    Returns ``(graph, csr_status)`` where ``csr_status`` is ``"attached"``
+    when the payload also carried valid CSR arrays (the graph then has its
+    :class:`GraphIndex` pre-built — no triangle re-enumeration) and
+    ``"absent"`` when it did not (older cache, format-version bump, or a
+    fingerprint mismatch).
+    """
     if _np is None or not cache_path.exists():
         return None
     try:
@@ -110,40 +127,67 @@ def _try_load_cache(cache_path: Path, signature: Tuple[int, int]) -> Optional[Gr
             if tuple(int(x) for x in meta) != signature:
                 return None
             edges = payload["edges"]
+            csr = csr_from_payload(payload)
+            fingerprint = (
+                str(payload["csr_fingerprint"]) if "csr_fingerprint" in payload else None
+            )
     except (OSError, ValueError, KeyError):
         return None  # unreadable/foreign file: fall back to the text parse
-    return _graph_from_pairs(edges.tolist())
+    graph = _graph_from_pairs(edges.tolist())
+    csr_status = "absent"
+    if (
+        csr is not None
+        and csr.num_edges == graph.num_edges
+        and csr.num_vertices == graph.num_vertices
+        and fingerprint == graph_fingerprint(graph)
+    ):
+        GraphIndex.from_csr(graph, csr)
+        csr_status = "attached"
+    return graph, csr_status
 
 
-def _write_cache(cache_path: Path, graph: Graph, signature: Tuple[int, int]) -> bool:
-    """Write the canonical edge array atomically; ``False`` if not cacheable.
+def _write_cache(
+    cache_path: Path, graph: Graph, signature: Tuple[int, int]
+) -> Optional[str]:
+    """Write the canonical edge array atomically; ``None`` if not cacheable.
 
     Only pure-integer vertex labels are cached (SNAP files in the wild are
     integer-labelled; anything else keeps working through the text path).
-    The write goes through a temporary file + :func:`os.replace` so a
-    concurrent reader never observes a half-written cache.
+    When the array kernel is available the payload also carries the graph's
+    :class:`CSRArrays` plus its fingerprint, so warm loads skip triangle
+    enumeration entirely; the return value is ``"edges+csr"`` then,
+    ``"edges"`` otherwise.  The write goes through a temporary file +
+    :func:`os.replace` so a concurrent reader never observes a half-written
+    cache.
     """
     if _np is None:
-        return False
+        return None
     edges = graph.edge_list()
     if not all(isinstance(u, int) and isinstance(v, int) for u, v in edges):
-        return False
+        return None
     array = _np.array(edges, dtype=_np.int64).reshape(len(edges), 2)
     meta = _np.array(signature, dtype=_np.int64)
+    payload: Dict[str, object] = {"edges": array, "meta": meta}
+    written = "edges"
+    csr = GraphIndex.of(graph).csr
+    if csr is not None:
+        payload.update(csr_payload(csr))
+        payload["csr_fingerprint"] = _np.array(graph_fingerprint(graph))
+        written = "edges+csr"
     fd, tmp_name = tempfile.mkstemp(
         dir=str(cache_path.parent), prefix=cache_path.name, suffix=".tmp"
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            _np.savez(handle, edges=array, meta=meta)
+            _np.savez(handle, **payload)
         os.replace(tmp_name, cache_path)
     except OSError:  # pragma: no cover - read-only cache dir etc.
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
-        return False
-    return True
+        return None
+    return written
 
 
 def load_snap_report(
@@ -154,8 +198,11 @@ def load_snap_report(
     """Load a SNAP edge list and report how (see :func:`load_snap`).
 
     The report dict carries ``cache`` (``"hit"``, ``"rebuilt"``,
-    ``"uncacheable"`` or ``"disabled"``) and ``cache_path`` — the tests and
-    the benchmark's loader-timing row read it; ordinary callers use
+    ``"uncacheable"`` or ``"disabled"``), ``cache_path`` and ``csr``
+    (``"attached"`` when the load restored a pre-built
+    :class:`~repro.graph.index.GraphIndex` from the payload, ``"cached"``
+    when a rebuild persisted one, else ``"absent"``) — the tests and the
+    benchmark's loader-timing row read it; ordinary callers use
     :func:`load_snap`.
     """
     path = Path(path)
@@ -167,12 +214,17 @@ def load_snap_report(
     if use_cache and _np is not None:
         cached = _try_load_cache(cache_path, signature)
         if cached is not None:
+            graph, csr_status = cached
             report["cache"] = "hit"
-            return cached, report
+            report["csr"] = csr_status
+            return graph, report
         graph = read_edge_list(path)
-        report["cache"] = "rebuilt" if _write_cache(cache_path, graph, signature) else "uncacheable"
+        written = _write_cache(cache_path, graph, signature)
+        report["cache"] = "rebuilt" if written else "uncacheable"
+        report["csr"] = "cached" if written == "edges+csr" else "absent"
         return graph, report
     report["cache"] = "disabled"
+    report["csr"] = "absent"
     return read_edge_list(path), report
 
 

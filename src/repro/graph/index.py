@@ -11,12 +11,22 @@ dense integer domain:
   smallest-edge-id tie-breaking used by the solvers carries over unchanged;
 * the adjacency is stored CSR-style (``adj_offsets`` / ``adj_vertices`` /
   ``adj_edges``, neighbour lists sorted by vertex id);
-* every triangle of the graph is enumerated exactly once at build time and
-  recorded twice: as a flat list of edge-id triples (``triangles``, used by
-  the union-find of triangle connectivity) and as per-edge lists of
+* every triangle of the graph is enumerated exactly once at build time;
+  the flat edge-id triples (``triangles``, used by the union-find of
+  triangle connectivity) and the per-edge lists of
   ``(other_edge, other_edge, apex_vertex)`` entries (``edge_triangles``,
-  used by the peeling kernel and the follower machinery);
+  used by the scalar peeling kernel and the follower machinery) are
+  *lazy views* over that enumeration, built on first access so cold
+  decompositions never pay for them;
 * ``support[e]`` is the triangle count of edge ``e`` — an O(1) lookup.
+
+When NumPy is importable the build is array-native: the adjacency and the
+triangle enumeration come from :mod:`repro.graph.csr`
+(``searchsorted``-based batched intersection instead of per-pair Python
+set intersections) and the arrays are kept on ``index.csr`` for the
+vectorised peel in :mod:`repro.truss.peel`.  Without NumPy the original
+pure-Python build runs instead (``index.csr is None``) and every consumer
+sees the exact same object-domain surface.
 
 Immutability / overlay contract
 -------------------------------
@@ -32,7 +42,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.graph.csr import HAVE_NUMPY, CSRArrays, build_csr_arrays
 from repro.graph.graph import Edge, Graph, Vertex
+
+if HAVE_NUMPY:
+    import numpy as _np
 
 __all__ = ["GraphIndex", "peel_trussness"]
 
@@ -47,38 +61,71 @@ class GraphIndex:
         "vertex_of",
         "vid_of",
         "edge_of",
-        "eid_of",
         "stable_ids",
+        "csr",
         "adj_offsets",
         "adj_vertices",
         "adj_edges",
-        "triangles",
-        "edge_triangles",
-        "support",
-        "max_support",
+        "_support",
+        "_max_support",
+        "_eid_of",
+        "_triangles",
+        "_edge_triangles",
         "_tuple_triangles",
         "_support_buckets",
     )
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, csr: Optional[CSRArrays] = None) -> None:
         self.version: int = graph._version
         #: Dense vertex id <-> vertex object.
         self.vertex_of: List[Vertex] = list(graph.vertices())
         vid_of = {u: i for i, u in enumerate(self.vertex_of)}
         self.vid_of: Dict[Vertex, int] = vid_of
         #: Dense edge id <-> canonical edge tuple, ordered by stable edge id
-        #: (insertion order), so dense-id order == public-id order.
-        by_stable_id = sorted(graph._edges_by_id.items())
-        self.stable_ids: List[int] = [item[0] for item in by_stable_id]
-        edge_of: List[Edge] = [item[1] for item in by_stable_id]
+        #: (insertion order), so dense-id order == public-id order.  Edge ids
+        #: are assigned monotonically, so the dict is almost always already
+        #: in id order — detect that and skip the sort.
+        stable_ids: List[int] = list(graph._edges_by_id)
+        edge_of: List[Edge] = list(graph._edges_by_id.values())
+        if stable_ids != sorted(stable_ids):  # C-speed check; ids are unique
+            by_stable_id = sorted(zip(stable_ids, edge_of))
+            stable_ids = [item[0] for item in by_stable_id]
+            edge_of = [item[1] for item in by_stable_id]
+        self.stable_ids = stable_ids
         self.edge_of = edge_of
-        eid_of = {e: i for i, e in enumerate(edge_of)}
-        self.eid_of: Dict[Edge, int] = eid_of
         n = self.num_vertices = len(self.vertex_of)
         m = self.num_edges = len(edge_of)
 
-        # CSR adjacency: per-vertex (neighbour vid, incident eid) pairs,
-        # sorted by neighbour id, flattened into offset/value arrays.
+        if HAVE_NUMPY:
+            if csr is None or csr.num_edges != m or csr.num_vertices != n:
+                from itertools import chain
+
+                endpoints = _np.fromiter(
+                    map(vid_of.__getitem__, chain.from_iterable(edge_of)),
+                    dtype=_np.int64,
+                    count=2 * m,
+                ).reshape(m, 2)
+                csr = build_csr_arrays(endpoints, n)
+            #: The array form (None without NumPy); the vectorised peel and
+            #: the dataset cache read it directly.
+            self.csr: Optional[CSRArrays] = csr
+            self.adj_offsets = csr.indptr
+            self.adj_vertices = csr.indices
+            self.adj_edges = csr.slot_eids
+            self._support: Optional[List[int]] = None
+            self._triangles: Optional[List[Tuple[int, int, int]]] = None
+            self._edge_triangles: Optional[List[List[Tuple[int, int, Vertex]]]] = None
+        else:
+            self.csr = None
+            self._build_python(graph, vid_of, edge_of, n, m)
+        self._max_support: Optional[int] = None
+        self._eid_of: Optional[Dict[Edge, int]] = None
+        self._tuple_triangles: Optional[List[Optional[List[Tuple[Edge, Edge, Vertex]]]]] = None
+        self._support_buckets: Optional[List[List[int]]] = None
+
+    def _build_python(self, graph: Graph, vid_of, edge_of, n: int, m: int) -> None:
+        """Pure-Python fallback build (no NumPy): the original eager
+        CSR-list construction and set-intersection triangle enumeration."""
         incident: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
         for eid, (u, v) in enumerate(edge_of):
             a, b = vid_of[u], vid_of[v]
@@ -97,13 +144,12 @@ class GraphIndex:
         self.adj_vertices = adj_vertices
         self.adj_edges = adj_edges
 
-        # Triangle enumeration straight off the graph's own adjacency sets:
-        # each triangle {u < v < w} (vertex order) is discovered exactly once,
-        # at its lowest edge (u, v) with apex w.  The common-apex set is one
-        # C-level set intersection; only actual triangles pay for edge-id
-        # lookups.  Apexes are stored as vertex objects (the integer kernels
-        # ignore them; only the tuple-domain views read them).
+        # Each triangle {u < v < w} (vertex order) is discovered exactly
+        # once, at its lowest edge (u, v) with apex w, straight off the
+        # graph's own adjacency sets.
         adj = graph._adj
+        eid_of = {e: i for i, e in enumerate(edge_of)}
+        self._eid_of = eid_of
         triangles: List[Tuple[int, int, int]] = []
         edge_triangles: List[List[Tuple[int, int, Vertex]]] = [[] for _ in range(m)]
         for e_uv, (u, v) in enumerate(edge_of):
@@ -118,15 +164,9 @@ class GraphIndex:
                         tri_uv.append((e_uw, e_vw, w))
                         edge_triangles[e_uw].append((e_uv, e_vw, v))
                         edge_triangles[e_vw].append((e_uv, e_uw, u))
-        self.triangles = triangles
-        self.edge_triangles = edge_triangles
-        #: support[e] == number of triangles through e (Definition 1).
-        self.support: List[int] = [len(entry) for entry in edge_triangles]
-        self.max_support: int = max(self.support, default=0)
-        # Per-edge triangle lists converted back to the tuple domain, built
-        # lazily the first time an edge is queried through the public API.
-        self._tuple_triangles: List[Optional[List[Tuple[Edge, Edge, Vertex]]]] = [None] * m
-        self._support_buckets: Optional[List[List[int]]] = None
+        self._triangles = triangles
+        self._edge_triangles = edge_triangles
+        self._support = [len(entry) for entry in edge_triangles]
 
     # ------------------------------------------------------------------
     # Cache management
@@ -141,6 +181,102 @@ class GraphIndex:
         index = cls(graph)
         graph._index = index
         return index
+
+    @classmethod
+    def from_csr(cls, graph: Graph, csr: CSRArrays) -> "GraphIndex":
+        """Build the index of ``graph`` from precomputed ``csr`` arrays and
+        cache it on the graph.
+
+        This is the restoration path of the dataset ``.npz`` cache: the
+        caller guarantees the arrays were built from a graph with the same
+        dense-id domain (same edge sequence — validated upstream by the
+        graph fingerprint).  Mismatched shapes are rebuilt silently, so a
+        stale payload can never corrupt the index.
+        """
+        index = cls(graph, csr=csr)
+        graph._index = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Lazy views
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> List[int]:
+        """``support[e]`` == number of triangles through edge ``e``
+        (Definition 1).  A Python list of Python ints — the scalar kernels
+        copy it and the values flow into JSON-serialised responses.  On the
+        array build it materialises from ``csr.support`` on first access
+        (cold vectorised decompositions never touch the list form)."""
+        support = self._support
+        if support is None:
+            support = self._support = self.csr.support.tolist()
+        return support
+
+    @property
+    def max_support(self) -> int:
+        """Largest initial support value (bucket count of the scalar peel)."""
+        value = self._max_support
+        if value is None:
+            value = self._max_support = max(self.support, default=0)
+        return value
+
+    @property
+    def eid_of(self) -> Dict[Edge, int]:
+        """Canonical edge tuple -> dense edge id (built on first access)."""
+        eid_of = self._eid_of
+        if eid_of is None:
+            eid_of = {e: i for i, e in enumerate(self.edge_of)}
+            self._eid_of = eid_of
+        return eid_of
+
+    @property
+    def triangles(self) -> List[Tuple[int, int, int]]:
+        """Flat list of edge-id triples, one per triangle (lazy view).
+
+        Each triangle is listed exactly once, keyed at its minimal dense
+        edge id; entry order and within-triple order are unspecified (every
+        consumer — union-find, per-level grouping — is order-insensitive).
+        """
+        triangles = self._triangles
+        if triangles is None:
+            csr = self.csr
+            base = csr.hit_bases()
+            mask = (base < csr.hit_e1) & (base < csr.hit_e2)
+            triangles = list(
+                zip(
+                    base[mask].tolist(),
+                    csr.hit_e1[mask].tolist(),
+                    csr.hit_e2[mask].tolist(),
+                )
+            )
+            self._triangles = triangles
+        return triangles
+
+    @property
+    def edge_triangles(self) -> List[List[Tuple[int, int, Vertex]]]:
+        """Per-edge ``(other_edge, other_edge, apex_vertex)`` lists (lazy).
+
+        The scalar kernels and the follower machinery iterate these heavily;
+        the list form is built once from the array-domain hit table on first
+        access and cached for the lifetime of the index.
+        """
+        edge_triangles = self._edge_triangles
+        if edge_triangles is None:
+            csr = self.csr
+            vertex_of = self.vertex_of
+            e1 = csr.hit_e1.tolist()
+            e2 = csr.hit_e2.tolist()
+            apexes = csr.hit_apex.tolist()
+            offsets = csr.hit_offsets.tolist()
+            edge_triangles = [
+                [
+                    (e1[row], e2[row], vertex_of[apexes[row]])
+                    for row in range(offsets[eid], offsets[eid + 1])
+                ]
+                for eid in range(self.num_edges)
+            ]
+            self._edge_triangles = edge_triangles
+        return edge_triangles
 
     # ------------------------------------------------------------------
     # Queries
@@ -157,13 +293,16 @@ class GraphIndex:
         which amortises the id->tuple conversion across the many repeated
         queries the follower machinery performs.
         """
-        cached = self._tuple_triangles[eid]
+        cache = self._tuple_triangles
+        if cache is None:
+            cache = self._tuple_triangles = [None] * self.num_edges
+        cached = cache[eid]
         if cached is None:
             edge_of = self.edge_of
             cached = [
                 (edge_of[a], edge_of[b], w) for a, b, w in self.edge_triangles[eid]
             ]
-            self._tuple_triangles[eid] = cached
+            cache[eid] = cached
         return cached
 
     def neighbors_csr(self, vid: int) -> Tuple[Sequence[int], Sequence[int]]:
@@ -185,9 +324,13 @@ class GraphIndex:
         return buckets
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if self.csr is not None:
+            count = self.csr.num_triangles
+        else:
+            count = len(self._triangles or ())
         return (
             f"GraphIndex(n={self.num_vertices}, m={self.num_edges}, "
-            f"triangles={len(self.triangles)})"
+            f"triangles={count})"
         )
 
 
@@ -195,6 +338,11 @@ def peel_trussness(
     index: GraphIndex, anchor_eids: Sequence[int] = ()
 ) -> Tuple[List[int], List[int], int]:
     """Bucket-queue truss peeling over dense edge ids (Algorithm 1).
+
+    This is the pure-Python scalar kernel; :mod:`repro.truss.peel` provides
+    byte-identical vectorised and numba backends and a dispatcher
+    (``peel_trussness_fast``) that every decomposition call site routes
+    through.
 
     Returns ``(trussness, layer, k_max)`` where the two lists are indexed by
     dense edge id (anchored edges keep the sentinel value 0) and the layer is

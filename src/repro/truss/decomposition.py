@@ -25,16 +25,15 @@ and is the one under which the upward-route characterisation of followers
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.graph import Edge, Graph, normalize_edge
-from repro.graph.index import GraphIndex, peel_trussness
+from repro.graph.index import GraphIndex
+from repro.truss.peel import peel_trussness_fast
 from repro.utils.errors import InvalidEdgeError, InvalidParameterError
 
 
-@dataclass(frozen=True)
 class TrussDecomposition:
     """Result of a (possibly anchored) truss decomposition.
 
@@ -50,17 +49,98 @@ class TrussDecomposition:
     k_max:
         The largest trussness value assigned (2 if the graph has no
         non-anchored edges in triangles; 1 for an empty graph).
+
+    The object behaves like the frozen dataclass it used to be (keyword
+    construction, equality over the four attributes above), but the kernel
+    paths construct it through :meth:`from_dense` with the tuple-domain
+    dicts *deferred*: cold decompositions return without ever paying the
+    ``m``-entry dict builds, and the dicts materialise from the dense
+    arrays on first access.  The dense views are treated as immutable after
+    construction (the overlay contract), so materialising late always
+    yields the same dicts an eager build would have.
     """
 
-    trussness: Dict[Edge, int]
-    layer: Dict[Edge, int]
-    anchors: FrozenSet[Edge]
-    k_max: int
-    #: Dense per-edge-id views ``(index, trussness, layer, anchor_mask)``
-    #: attached by the kernel decomposition (``None`` when constructed by the
-    #: reference implementation or by hand).  Anchored edges hold ``inf`` in
-    #: the arrays.  Excluded from equality/repr: it is a cache, not data.
-    dense_views: object = field(default=None, compare=False, repr=False)
+    def __init__(
+        self,
+        trussness: Optional[Dict[Edge, int]] = None,
+        layer: Optional[Dict[Edge, int]] = None,
+        anchors: FrozenSet[Edge] = frozenset(),
+        k_max: int = 1,
+        dense_views: object = None,
+    ) -> None:
+        self._trussness = trussness
+        self._layer = layer
+        self.anchors = anchors
+        self.k_max = k_max
+        #: Dense per-edge-id views ``(index, trussness, layer, anchor_mask)``
+        #: attached by the kernel decomposition (``None`` when constructed by
+        #: the reference implementation or by hand).  Anchored edges hold
+        #: ``inf`` in the arrays.  A cache, not data: excluded from equality.
+        self.dense_views = dense_views
+        self._edge_of: Optional[Sequence[Edge]] = None
+
+    @classmethod
+    def from_dense(
+        cls,
+        edge_of: Sequence[Edge],
+        trussness_arr: List[float],
+        layer_arr: List[float],
+        anchors: FrozenSet[Edge],
+        k_max: int,
+        dense_views: object,
+    ) -> "TrussDecomposition":
+        """Kernel constructor: dense per-eid arrays now, dicts on demand.
+
+        ``edge_of`` maps dense edge ids to canonical tuples; anchors carry
+        ``inf`` in the arrays and are dropped from the dicts when they
+        materialise.
+        """
+        result = cls(anchors=anchors, k_max=k_max, dense_views=dense_views)
+        result._edge_of = edge_of
+        return result
+
+    def _materialize(self) -> None:
+        edge_of = self._edge_of
+        index, trussness_arr, layer_arr, _mask = self.dense_views
+        # C-level dict construction over all edges, then drop the (few)
+        # anchors, which carry inf in the dense views.
+        trussness: Dict[Edge, int] = dict(zip(edge_of, trussness_arr))
+        layer: Dict[Edge, int] = dict(zip(edge_of, layer_arr))
+        for edge in self.anchors:
+            del trussness[edge]
+            del layer[edge]
+        self._trussness = trussness
+        self._layer = layer
+
+    @property
+    def trussness(self) -> Dict[Edge, int]:
+        if self._trussness is None:
+            self._materialize()
+        return self._trussness
+
+    @property
+    def layer(self) -> Dict[Edge, int]:
+        if self._layer is None:
+            self._materialize()
+        return self._layer
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrussDecomposition):
+            return NotImplemented
+        return (
+            self.anchors == other.anchors
+            and self.k_max == other.k_max
+            and self.trussness == other.trussness
+            and self.layer == other.layer
+        )
+
+    __hash__ = None  # mutable caches inside; matches the old unhashable dataclass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TrussDecomposition(edges={len(self.trussness)}, "
+            f"anchors={len(self.anchors)}, k_max={self.k_max})"
+        )
 
     @cached_property
     def _hull_index(self) -> Dict[int, FrozenSet[Edge]]:
@@ -125,34 +205,29 @@ def truss_decomposition(
     """
     anchor_set: FrozenSet[Edge] = frozenset(graph.require_edge(e) for e in anchors)
     index = GraphIndex.of(graph)
-    trussness_arr, layer_arr, k_max = peel_trussness(
+    trussness_arr, layer_arr, k_max = peel_trussness_fast(
         index, [index.eid_of[e] for e in anchor_set]
     )
-    # C-level dict construction over all edges, then drop the (few) anchors,
-    # which carry the sentinel value 0 in the kernel arrays.
-    edge_of = index.edge_of
-    trussness: Dict[Edge, int] = dict(zip(edge_of, trussness_arr))
-    layer: Dict[Edge, int] = dict(zip(edge_of, layer_arr))
-    for edge in anchor_set:
-        del trussness[edge]
-        del layer[edge]
     # Re-purpose the kernel arrays as the dense per-eid views shared with the
     # follower machinery and the component tree (anchors switch from the
-    # peeling sentinel 0 to the inf the state-level API reports).
+    # peeling sentinel 0 to the inf the state-level API reports).  The
+    # tuple-domain dicts materialise lazily from these views on first access.
     anchor_mask = bytearray(index.num_edges)
-    eid_of = index.eid_of
-    inf = math.inf
-    for edge in anchor_set:
-        eid = eid_of[edge]
-        anchor_mask[eid] = 1
-        trussness_arr[eid] = inf
-        layer_arr[eid] = inf
-    return TrussDecomposition(
-        trussness=trussness,
-        layer=layer,
-        anchors=anchor_set,
-        k_max=k_max,
-        dense_views=(index, trussness_arr, layer_arr, anchor_mask),
+    if anchor_set:
+        eid_of = index.eid_of
+        inf = math.inf
+        for edge in anchor_set:
+            eid = eid_of[edge]
+            anchor_mask[eid] = 1
+            trussness_arr[eid] = inf
+            layer_arr[eid] = inf
+    return TrussDecomposition.from_dense(
+        index.edge_of,
+        trussness_arr,
+        layer_arr,
+        anchor_set,
+        k_max,
+        (index, trussness_arr, layer_arr, anchor_mask),
     )
 
 

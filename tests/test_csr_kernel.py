@@ -1,0 +1,287 @@
+"""The array-native kernel: CSR structure, backend selection and the
+generator-sweep equivalence suite.
+
+Every peeling backend must produce *byte-identical* ``(trussness, layer,
+k_max)`` triples: the pure-Python scalar kernel
+(:func:`repro.graph.index.peel_trussness`), the vectorised wave peel
+(:func:`repro.truss.peel.peel_trussness_arrays`), the uncompiled numba twin
+(:func:`repro.truss.peel._scalar_peel_on_arrays` — the exact function numba
+would compile) and, where the optional extra is installed, the ``@njit``
+compiled twin itself.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_graph,
+    grid_with_shortcuts,
+    overlapping_cliques_graph,
+    powerlaw_cluster_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.index import GraphIndex, peel_trussness
+from repro.truss.decomposition import (
+    truss_decomposition,
+    truss_decomposition_reference,
+)
+from repro.truss.peel import (
+    PEEL_BACKENDS,
+    _scalar_peel_on_arrays,
+    get_peel_backend,
+    numba_available,
+    peel_trussness_arrays,
+    peel_trussness_fast,
+    resolve_peel_backend,
+    set_peel_backend,
+)
+from repro.utils.errors import InvalidParameterError
+
+np = pytest.importorskip("numpy")
+
+from repro.graph.csr import (  # noqa: E402 - guarded by the importorskip
+    CSR_FORMAT_VERSION,
+    build_csr_arrays,
+    csr_from_payload,
+    csr_payload,
+)
+
+
+def sweep_graphs():
+    """Deterministic generator sweep: (name, graph) pairs covering degenerate,
+    structured and random shapes."""
+    yield "empty", Graph()
+    single = Graph()
+    single.add_edge("a", "b")
+    yield "single-edge", single
+    k7 = Graph()
+    for i in range(7):
+        for j in range(i + 1, 7):
+            k7.add_edge(i, j)
+    yield "K7", k7
+    yield "grid", grid_with_shortcuts(6, 6, 0.5, shortcut_edges=8, seed=3)
+    yield "cliques", overlapping_cliques_graph(5, 6, 2, noise_edges=10, seed=4)
+    for seed in range(5):
+        yield f"plc-{seed}", powerlaw_cluster_graph(90, 3, 0.4, seed=seed)
+        yield f"community-{seed}", community_graph([25, 25, 25], 0.3, 0.02, seed=seed)
+        yield f"ba-{seed}", barabasi_albert_graph(110, 3, seed=seed)
+        yield f"ws-{seed}", watts_strogatz_graph(110, 6, 0.2, seed=seed)
+
+
+def anchor_sets(m: int, seed: int):
+    """Deterministic anchor samples for an m-edge graph (dense-id domain)."""
+    rng = random.Random(seed)
+    yield []
+    if m:
+        yield [0]
+        yield rng.sample(range(m), min(5, m))
+        yield rng.sample(range(m), min(m, max(1, m // 3)))
+
+
+def run_numba_twin(csr, anchors):
+    """Call the (uncompiled) numba twin with the same contract as the rest."""
+    m = csr.num_edges
+    if m == 0:
+        return [], [], 1
+    is_anchor = np.zeros(m, dtype=np.bool_)
+    if anchors:
+        is_anchor[anchors] = True
+    trussness, layer, k_max = _scalar_peel_on_arrays(
+        m, csr.support.copy(), csr.hit_offsets, csr.hit_e1, csr.hit_e2, is_anchor
+    )
+    return trussness.tolist(), layer.tolist(), int(k_max)
+
+
+def stable_seed(name: str) -> int:
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFF
+
+
+class TestCSRStructure:
+    def test_support_matches_scalar_kernel(self):
+        for name, graph in sweep_graphs():
+            index = GraphIndex(graph)
+            csr = index.csr
+            assert csr is not None
+            assert csr.support.tolist() == index.support, name
+            assert csr.num_edges == graph.num_edges
+            assert csr.num_vertices == graph.num_vertices
+
+    def test_hit_table_is_edge_triangles(self):
+        for name, graph in sweep_graphs():
+            index = GraphIndex(graph)
+            csr = index.csr
+            for eid in range(csr.num_edges):
+                rows = {
+                    (int(csr.hit_e1[row]), int(csr.hit_e2[row]))
+                    for row in range(csr.hit_offsets[eid], csr.hit_offsets[eid + 1])
+                }
+                expected = {
+                    tuple(sorted((e1, e2)))
+                    for e1, e2, _ in index.edge_triangles[eid]
+                }
+                assert {tuple(sorted(pair)) for pair in rows} == expected, (name, eid)
+
+    def test_triangle_count_triples_in_hit_table(self):
+        for name, graph in sweep_graphs():
+            csr = GraphIndex(graph).csr
+            assert len(csr.hit_e1) == 3 * csr.num_triangles, name
+            assert int(csr.support.sum()) == len(csr.hit_e1), name
+
+    def test_hit_bases_matches_offsets(self):
+        csr = GraphIndex(powerlaw_cluster_graph(60, 3, 0.5, seed=9)).csr
+        bases = csr.hit_bases()
+        for eid in range(csr.num_edges):
+            lo, hi = int(csr.hit_offsets[eid]), int(csr.hit_offsets[eid + 1])
+            assert (bases[lo:hi] == eid).all()
+
+    def test_adjacency_slots_sorted_and_labelled(self):
+        graph = community_graph([20, 20], 0.4, 0.05, seed=2)
+        index = GraphIndex(graph)
+        csr = index.csr
+        for vid in range(csr.num_vertices):
+            lo, hi = int(csr.indptr[vid]), int(csr.indptr[vid + 1])
+            neigh = csr.indices[lo:hi]
+            assert (np.diff(neigh) > 0).all()  # strictly sorted, no duplicates
+            for slot in range(lo, hi):
+                eid = int(csr.slot_eids[slot])
+                u, v = int(csr.endpoints[eid][0]), int(csr.endpoints[eid][1])
+                assert {u, v} == {vid, int(csr.indices[slot])}
+
+    def test_payload_roundtrip(self):
+        for name, graph in sweep_graphs():
+            csr = GraphIndex(graph).csr
+            restored = csr_from_payload(csr_payload(csr))
+            assert restored is not None, name
+            assert restored.num_edges == csr.num_edges
+            assert restored.num_vertices == csr.num_vertices
+            for field in ("endpoints", "indptr", "indices", "slot_eids",
+                          "support", "hit_offsets", "hit_e1", "hit_e2", "hit_apex"):
+                assert np.array_equal(getattr(restored, field), getattr(csr, field)), (
+                    name, field,
+                )
+
+    def test_payload_version_gate(self):
+        csr = GraphIndex(barabasi_albert_graph(40, 2, seed=0)).csr
+        payload = csr_payload(csr)
+        assert int(payload["csr_version"][0]) == CSR_FORMAT_VERSION
+        bad = dict(payload)
+        bad["csr_version"] = np.array([CSR_FORMAT_VERSION + 1, csr.num_vertices, csr.num_edges])
+        assert csr_from_payload(bad) is None
+        assert csr_from_payload({}) is None
+
+    def test_from_csr_attaches_cached_index(self):
+        graph = watts_strogatz_graph(60, 4, 0.1, seed=5)
+        csr = GraphIndex(graph).csr
+        restored = csr_from_payload(csr_payload(csr))
+        index = GraphIndex.from_csr(graph, restored)
+        assert graph._index is index
+        assert GraphIndex.of(graph) is index
+        assert truss_decomposition(graph) == truss_decomposition_reference(graph)
+
+    def test_build_rejects_nothing_on_triangle_free_graphs(self):
+        path = Graph()
+        for i in range(10):
+            path.add_edge(i, i + 1)
+        csr = GraphIndex(path).csr
+        assert csr.num_triangles == 0
+        assert csr.support.tolist() == [0] * path.num_edges
+        assert peel_trussness_arrays(csr) == peel_trussness(GraphIndex(path))
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            set_peel_backend("turbo")
+
+    def test_set_and_restore(self):
+        previous = set_peel_backend("python")
+        try:
+            assert get_peel_backend() == "python"
+            assert resolve_peel_backend() == "python"
+        finally:
+            set_peel_backend(previous)
+
+    def test_auto_resolves_to_vectorized_with_numpy(self):
+        previous = set_peel_backend("auto")
+        try:
+            assert resolve_peel_backend() == "vectorized"
+        finally:
+            set_peel_backend(previous)
+
+    def test_numba_backend_degrades_cleanly(self):
+        previous = set_peel_backend("numba")
+        try:
+            resolved = resolve_peel_backend()
+            assert resolved == ("numba" if numba_available() else "vectorized")
+            graph = powerlaw_cluster_graph(50, 3, 0.3, seed=1)
+            index = GraphIndex(graph)
+            assert peel_trussness_fast(index) == peel_trussness(index)
+        finally:
+            set_peel_backend(previous)
+
+    def test_every_configured_backend_runs(self):
+        graph = overlapping_cliques_graph(4, 5, 2, seed=7)
+        index = GraphIndex(graph)
+        expected = peel_trussness(index)
+        for backend in PEEL_BACKENDS:
+            previous = set_peel_backend(backend)
+            try:
+                assert peel_trussness_fast(index) == expected, backend
+            finally:
+                set_peel_backend(previous)
+
+
+class TestEquivalenceSweep:
+    def test_vectorised_peel_matches_scalar(self):
+        for name, graph in sweep_graphs():
+            index = GraphIndex(graph)
+            m = index.num_edges
+            for i, anchors in enumerate(anchor_sets(m, seed=stable_seed(name))):
+                expected = peel_trussness(index, anchors)
+                assert peel_trussness_arrays(index.csr, anchors) == expected, (
+                    name, i,
+                )
+
+    def test_numba_twin_matches_scalar_uncompiled(self):
+        # The exact function handed to numba.njit, run as plain Python —
+        # validates the twin's semantics even on images without numba.
+        for name, graph in sweep_graphs():
+            index = GraphIndex(graph)
+            m = index.num_edges
+            for i, anchors in enumerate(anchor_sets(m, seed=stable_seed(name))):
+                expected = peel_trussness(index, anchors)
+                assert run_numba_twin(index.csr, anchors) == expected, (name, i)
+
+    def test_compiled_numba_matches_scalar(self):
+        pytest.importorskip("numba")
+        from repro.truss.peel import _peel_numba
+
+        for name, graph in sweep_graphs():
+            index = GraphIndex(graph)
+            m = index.num_edges
+            for i, anchors in enumerate(anchor_sets(m, seed=stable_seed(name))):
+                expected = peel_trussness(index, anchors)
+                assert _peel_numba(index.csr, list(anchors)) == expected, (name, i)
+
+    def test_full_decomposition_object_equality(self):
+        for name, graph in sweep_graphs():
+            assert truss_decomposition(graph) == truss_decomposition_reference(
+                graph
+            ), name
+
+    def test_anchored_decomposition_object_equality(self):
+        rng = random.Random(11)
+        for name, graph in sweep_graphs():
+            edges = graph.edge_list()
+            if not edges:
+                continue
+            anchors = rng.sample(edges, min(4, len(edges)))
+            assert truss_decomposition(graph, anchors) == truss_decomposition_reference(
+                graph, anchors
+            ), name
