@@ -49,16 +49,24 @@ Two generations of the same harness write into ``BENCH_kernel.json``:
   ``truss_decomposition`` >= 5x (the cold bar now includes the array
   index build), anchored sequence and GAS re-run in the same section so
   the trajectory stays comparable.  The resolved peel backend and numba
-  availability are recorded alongside.
+  availability are recorded alongside;
+* the **``world`` section** (PR 8) measures the scenario world
+  (:mod:`repro.world`): wall time of the registry-wide sweep over the
+  sampled parameter space, the per-family spread of the incremental
+  engine's speedup over forced full re-peels (GAS with
+  ``full_peel_threshold`` inf vs 0.0), and the invariant rig pass on the
+  same points (the recorded ``violations`` count must stay 0).
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--full] [--smoke]
         [--engine-only] [--engine-v2-only] [--service-only] [--api-only]
-        [--resilience-only] [--kernel-v2-only] [--force] [--output PATH]
+        [--resilience-only] [--kernel-v2-only] [--world-only] [--force]
+        [--output PATH]
 
 ``--engine-only`` / ``--engine-v2-only`` / ``--service-only`` /
-``--api-only`` / ``--resilience-only`` / ``--kernel-v2-only`` recompute
+``--api-only`` / ``--resilience-only`` / ``--kernel-v2-only`` /
+``--world-only`` recompute
 just that section and
 merge it into the existing output file.  Sections already present in the
 output are **never overwritten** unless ``--force`` is given (the ROADMAP's
@@ -1311,6 +1319,113 @@ def merge_kernel_v2_summary(report: Dict[str, object]) -> None:
     summary["kernel_v2_resolved_backend"] = v2["resolved_backend"]
 
 
+def run_world_section(
+    points_count: int,
+    seed: int,
+    budget: int,
+    n_range: tuple,
+) -> Dict[str, object]:
+    import statistics
+
+    from repro.core.engine import get_solver
+    from repro.world.axes import WorldAxes, sample_points
+    from repro.world.invariants import InvariantViolation, check_world_point
+    from repro.world.sweep import run_sweep
+
+    axes = WorldAxes(n=n_range)
+    points = sample_points(points_count, seed=seed, axes=axes)
+    section: Dict[str, object] = {
+        "description": "scenario world (PR 8): registry-wide sweep wall time "
+        "over the sampled parameter space, per-family incremental-vs-full "
+        "engine speedup spread (gas, full_peel_threshold inf vs 0.0) and "
+        "the invariant rig pass on the same points",
+        "axes": {"families": list(axes.families), "n": list(axes.n)},
+        "sweep": {},
+        "engine_speedup_by_family": {},
+        "invariants": {},
+    }
+
+    print("== world: registry-wide sweep ==")
+    start = time.perf_counter()
+    rows = run_sweep(points, budget=budget)
+    wall = time.perf_counter() - start
+    section["sweep"] = {
+        "points": len(points),
+        "rows": len(rows),
+        "budget": budget,
+        "wall_s": round(wall, 4),
+        "families": sorted({row["family"] for row in rows}),
+    }
+    print(f"  {len(rows)} rows over {len(points)} points in {wall:.2f}s")
+
+    print("== world: incremental vs full re-peel (gas) ==")
+    gas_solver = get_solver("gas")
+    speedups_by_family: Dict[str, List[float]] = {}
+    for point in points:
+        graph = point.build_graph()
+        if graph.num_edges < 2:
+            continue
+        point_budget = min(budget, graph.num_edges)
+        full_s = _timed(
+            lambda: gas_solver(graph, point_budget, full_peel_threshold=0.0)
+        )
+        incremental_s = _timed(
+            lambda: gas_solver(graph, point_budget, full_peel_threshold=math.inf)
+        )
+        speedups_by_family.setdefault(point.family, []).append(
+            full_s / max(incremental_s, 1e-9)
+        )
+    for family, speedups in sorted(speedups_by_family.items()):
+        entry = {
+            "points": len(speedups),
+            "min": round(min(speedups), 3),
+            "median": round(statistics.median(speedups), 3),
+            "max": round(max(speedups), 3),
+        }
+        section["engine_speedup_by_family"][family] = entry
+        print(
+            f"  {family:>10}  median {entry['median']:>6.2f}x  "
+            f"(min {entry['min']:.2f}x / max {entry['max']:.2f}x)"
+        )
+
+    print("== world: invariant rig ==")
+    violations = 0
+    for point in points:
+        try:
+            check_world_point(point)
+        except InvariantViolation as exc:
+            violations += 1
+            print(f"  VIOLATION: {exc}")
+    section["invariants"] = {
+        "points_checked": len(points),
+        "violations": violations,
+    }
+    print(f"  {len(points)} point(s) checked, {violations} violation(s)")
+
+    medians = [
+        entry["median"] for entry in section["engine_speedup_by_family"].values()
+    ]
+    section["summary"] = {
+        "sweep_wall_s": section["sweep"]["wall_s"],
+        "families": len(section["sweep"]["families"]),
+        "violations": violations,
+        "engine_speedup_median_min": min(medians) if medians else None,
+        "engine_speedup_median_max": max(medians) if medians else None,
+    }
+    return section
+
+
+def merge_world_summary(report: Dict[str, object]) -> None:
+    """Propagate the world summary into the top-level summary."""
+    world = report["world"]["summary"]
+    summary = report.setdefault("summary", {})
+    summary["world_sweep_wall_s"] = world["sweep_wall_s"]
+    summary["world_families"] = world["families"]
+    summary["world_violations"] = world["violations"]
+    summary["world_engine_speedup_median_min"] = world["engine_speedup_median_min"]
+    summary["world_engine_speedup_median_max"] = world["engine_speedup_median_max"]
+
+
 # ---------------------------------------------------------------------------
 # Append-only output handling (the ROADMAP trajectory rule)
 # ---------------------------------------------------------------------------
@@ -1417,6 +1532,13 @@ def main(argv: List[str] | None = None) -> int:
         "existing output file",
     )
     parser.add_argument(
+        "--world-only",
+        action="store_true",
+        help="recompute only the 'world' section (PR 8: scenario-world sweep "
+        "wall time, per-family incremental-vs-full engine speedup spread, "
+        "invariant rig pass) and append it to the existing output file",
+    )
+    parser.add_argument(
         "--api-workers", type=int, default=4,
         help="worker count for the api section's thread-vs-process comparison",
     )
@@ -1494,6 +1616,7 @@ def main(argv: List[str] | None = None) -> int:
         kernel_v2_datasets = ["college"]
         kernel_v2_gas_graphs = {"college": load_dataset("college")}
         kernel_v2_gas_repeats = 2
+        world_points, world_budget, world_n = 6, 1, (30, 60)
     else:
         decomposition_datasets = ["patents", "pokec"] if args.full else ["patents"]
         follower_datasets = ["college", "facebook"]
@@ -1538,6 +1661,7 @@ def main(argv: List[str] | None = None) -> int:
         kernel_v2_datasets = ["patents", "pokec"]
         kernel_v2_gas_graphs = dict(engine_gas_graphs)
         kernel_v2_gas_repeats = 5
+        world_points, world_budget, world_n = 18, 2, (60, 120)
 
     try:
         if args.engine_only:
@@ -1632,6 +1756,21 @@ def main(argv: List[str] | None = None) -> int:
             print(f"\nwrote {args.output} (kernel_v2 section only)")
             print(json.dumps(report["kernel_v2"]["summary"], indent=2))
             return 0
+
+        if args.world_only:
+            report = {
+                "world": run_world_section(
+                    world_points,
+                    SAMPLING_SEED,
+                    world_budget,
+                    world_n,
+                )
+            }
+            merge_world_summary(report)
+            report = write_report(args.output, report, args.force)
+            print(f"\nwrote {args.output} (world section only)")
+            print(json.dumps(report["world"]["summary"], indent=2))
+            return 0
     except SectionExistsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1708,6 +1847,12 @@ def main(argv: List[str] | None = None) -> int:
         args.gas_budget,
         kernel_v2_gas_repeats,
     )
+    report["world"] = run_world_section(
+        world_points,
+        SAMPLING_SEED,
+        world_budget,
+        world_n,
+    )
 
     decomposition_speedup = min(
         entry["anchored_sequence"]["speedup"] for entry in report["decomposition"].values()
@@ -1730,6 +1875,7 @@ def main(argv: List[str] | None = None) -> int:
     merge_service_summary(report)
     merge_api_summary(report)
     merge_kernel_v2_summary(report)
+    merge_world_summary(report)
 
     try:
         report = write_report(args.output, report, args.force)

@@ -43,6 +43,9 @@ from repro.service import session_cache as service_session_cache  # noqa: E402
 from repro.service import transports as service_transports  # noqa: E402
 from repro.truss import peel as peel_module  # noqa: E402
 from repro.truss import state as state_module  # noqa: E402
+from repro.world import axes as world_axes  # noqa: E402
+from repro.world import invariants as world_invariants  # noqa: E402
+from repro.world import sweep as world_sweep  # noqa: E402
 
 #: (section title, module, [object names]) — the public surface, in reading
 #: order.  Add a name here when a new object becomes part of the public API.
@@ -95,6 +98,27 @@ API_SURFACE = [
         "Graph kernel (`repro.graph`)",
         None,
         [],
+    ),
+    (
+        "Scenario world (`repro.world`)",
+        None,
+        [],
+    ),
+]
+
+#: The scenario world: parameter space, sweep runner and invariant rig.
+WORLD_SURFACE = [
+    (world_axes, ["WorldAxes", "WorldPoint", "sample_points"]),
+    (world_sweep, ["run_sweep", "summarize_sweep", "sweep_rows_to_csv"]),
+    (
+        world_invariants,
+        [
+            "check_world_point",
+            "InvariantReport",
+            "InvariantViolation",
+            "replay_command",
+            "tree_signature",
+        ],
     ),
 ]
 
@@ -181,6 +205,7 @@ COMPOSITE_SECTIONS = {
     "Serving layer (`repro.service`)": SERVICE_SURFACE,
     "Datasets and the SNAP pipeline (`repro.datasets`)": DATASETS_SURFACE,
     "Graph kernel (`repro.graph`)": GRAPH_SURFACE,
+    "Scenario world (`repro.world`)": WORLD_SURFACE,
 }
 
 METHOD_ALLOWLIST = {
@@ -261,6 +286,14 @@ METHOD_ALLOWLIST = {
     "ResultStore": ["get", "put", "stats"],
     "StdioTransport": ["serve"],
     "TcpTransport": ["serve", "start", "close"],
+    "WorldPoint": [
+        "param",
+        "build_graph",
+        "anchor_schedule",
+        "spec",
+        "from_spec",
+        "label",
+    ],
 }
 
 

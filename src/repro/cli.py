@@ -19,6 +19,14 @@ Sub-commands
 ``batch``
     Run a JSON-lines request *file* through the service (grouped by graph
     for warm-session reuse) and write a JSON-lines response file.
+``world``
+    Sample parameterised synthetic "world points" (generator family ×
+    density/clustering/skew axes, see :mod:`repro.world`), sweep every
+    registered solver across them (``--json``/``--csv`` for the row dump),
+    and/or run the engine's invariant fuzzing rig on each point
+    (``--check``).  ``--smoke`` is the small CI tier; ``--replay
+    "<point-spec>"`` re-runs the oracle on the exact point printed by a
+    failing rig run.
 ``experiment``
     Run one experiment of the harness (table3, fig5, ..., ablation).
 ``report``
@@ -166,6 +174,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _service_args(batch)
 
+    world = sub.add_parser(
+        "world",
+        help="sweep solvers across sampled synthetic regimes and fuzz the "
+        "engine invariants (see repro.world)",
+    )
+    world.add_argument(
+        "--points", type=int, default=None,
+        help="world points to sample (default: 24, or 6 with --smoke)",
+    )
+    world.add_argument("--seed", type=int, default=0, help="sampling seed")
+    world.add_argument(
+        "--budget", "-b", type=int, default=2,
+        help="anchor budget per solve (exact is capped at 1)",
+    )
+    world.add_argument(
+        "--solvers", nargs="*", default=None, metavar="NAME",
+        help="solvers to sweep (default: every registered solver)",
+    )
+    world.add_argument(
+        "--families", nargs="*", default=None, metavar="FAMILY",
+        help="generator families to sample (default: all)",
+    )
+    world.add_argument(
+        "--smoke", action="store_true",
+        help="small CI tier: 6 points, budget 1, sweep + invariant rig",
+    )
+    world.add_argument(
+        "--check", action="store_true",
+        help="run the invariant rig on every sampled point (exit 1 on a "
+        "violation, printing its replay line)",
+    )
+    world.add_argument(
+        "--replay", metavar="POINT_SPEC", default=None,
+        help="re-run the invariant oracle on one point spec "
+        "(as printed by a failing rig run)",
+    )
+    world.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                       help="write sweep rows as JSON")
+    world.add_argument("--csv", dest="csv_out", default=None, metavar="PATH",
+                       help="write sweep rows as CSV")
+
     experiment = sub.add_parser("experiment", help="run one experiment of the harness")
     experiment.add_argument("name", choices=available_experiments())
     experiment.add_argument("--profile", choices=sorted(PROFILES), default="laptop")
@@ -292,6 +341,73 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0 if summary["errors"] == 0 else 1
 
 
+def _run_world(args: argparse.Namespace) -> int:
+    """The ``world`` command: scenario sweep + invariant fuzzing rig."""
+    import json as json_module
+
+    from repro.experiments.reporting import format_table
+    from repro.world import (
+        InvariantViolation,
+        WorldAxes,
+        WorldPoint,
+        check_world_point,
+        sample_points,
+        summarize_sweep,
+        run_sweep,
+        sweep_rows_to_csv,
+    )
+
+    if args.replay is not None:
+        point = WorldPoint.from_spec(args.replay)
+        try:
+            report = check_world_point(point)
+        except InvariantViolation as violation:
+            print(violation, file=sys.stderr)
+            return 1
+        print(
+            f"replay ok: {point.spec()} "
+            f"(n={report.num_vertices} m={report.num_edges} "
+            f"anchors={report.schedule_length}; checks: {', '.join(report.checks)})"
+        )
+        return 0
+
+    axes = (
+        WorldAxes(families=tuple(args.families)) if args.families else WorldAxes()
+    )
+    count = args.points if args.points is not None else (6 if args.smoke else 24)
+    budget = 1 if args.smoke and args.budget == 2 else args.budget
+    points = sample_points(count, seed=args.seed, axes=axes)
+
+    rows = run_sweep(points, solvers=args.solvers, budget=budget)
+    summary = summarize_sweep(rows)
+    print(
+        format_table(
+            ["family", "solver", "points", "mean_gain", "mean_elapsed_s"],
+            [[s[k] for k in ("family", "solver", "points", "mean_gain",
+                             "mean_elapsed_s")] for s in summary],
+            title=f"world sweep: {len(points)} point(s), seed {args.seed}",
+        )
+    )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json_module.dump(rows, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out} ({len(rows)} row(s))")
+    if args.csv_out:
+        with open(args.csv_out, "w", encoding="utf-8") as handle:
+            handle.write(sweep_rows_to_csv(rows))
+        print(f"wrote {args.csv_out} ({len(rows)} row(s))")
+
+    if args.check or args.smoke:
+        for point in points:
+            try:
+                check_world_point(point)
+            except InvariantViolation as violation:
+                print(violation, file=sys.stderr)
+                return 1
+        print(f"invariant rig: {len(points)} point(s) checked, 0 violations")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -313,6 +429,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "batch":
         return _run_batch(args)
+
+    if args.command == "world":
+        return _run_world(args)
 
     if args.command == "experiment":
         _result, text = run_experiment(args.name, get_profile(args.profile))

@@ -702,6 +702,7 @@ class TrussComponentTree:
         self._ensure_sla_ref()
 
         # -- captures (everything the reuse decision reads from the OLD tree)
+        old_node_ids = set(nodes)
         old_sla_anchor = set(self._sla_sets[anchor_eid] or ())
         changed_nodes: Set[int] = set()
         for eid in delta.changed_eids:
@@ -859,7 +860,15 @@ class TrussComponentTree:
             nid = node_of_eid[eid]
             if nid >= 0:
                 changed_nodes.add(nid)
-        invalid_node_ids = touched | changed_nodes | old_sla_anchor
+        # Renames and merges can route through a transient id that exists in
+        # neither the old nor the new tree; no cache entry can reference it,
+        # and the before/after diff never reports it — drop those so the
+        # patch-assembled decision stays byte-identical to the diff.
+        invalid_node_ids = {
+            nid
+            for nid in touched | changed_nodes | old_sla_anchor
+            if nid in nodes or nid in old_node_ids
+        }
         ref = self._ensure_sla_ref()
         dirty = set(delta.changed_eids)
         dirty |= sla_dirty

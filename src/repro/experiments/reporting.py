@@ -8,6 +8,8 @@ without a plotting stack.
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 
@@ -39,6 +41,21 @@ def _format_cell(cell: object) -> str:
             return f"{cell:.1f}"
         return f"{cell:.3f}".rstrip("0").rstrip(".") if cell != int(cell) else str(int(cell))
     return str(cell)
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render ``rows`` as CSV text (header line first, ``\\n`` line endings).
+
+    The machine-readable sibling of :func:`format_table`: the scenario-world
+    sweep (``repro.cli world --csv``) emits its rows through this so every
+    tabular artefact shares one serialisation.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()
 
 
 def format_series(

@@ -29,6 +29,8 @@ from repro.graph.generators import (
     paper_figure1_graph,
     paper_figure3_graph,
     powerlaw_cluster_graph,
+    skewed_block_sizes,
+    stochastic_block_model,
     watts_strogatz_graph,
 )
 from repro.graph.io import read_edge_list, write_edge_list
@@ -54,6 +56,8 @@ __all__ = [
     "powerlaw_cluster_graph",
     "complete_graph",
     "community_graph",
+    "stochastic_block_model",
+    "skewed_block_sizes",
     "overlapping_cliques_graph",
     "grid_with_shortcuts",
     "paper_figure1_graph",

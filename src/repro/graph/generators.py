@@ -190,6 +190,80 @@ def community_graph(
     return graph
 
 
+def skewed_block_sizes(n: int, blocks: int, skew: float) -> List[int]:
+    """Deterministic power-law-skewed block sizes summing to ``n``.
+
+    Block ``i`` receives a share proportional to ``(i + 1) ** -skew``
+    (``skew = 0`` is uniform; larger values concentrate vertices in the
+    first blocks, the LFR-style heavy-tailed community-size regime).  Every
+    block keeps at least 3 vertices so each community can host a triangle.
+    """
+    if blocks < 1:
+        raise InvalidParameterError("blocks must be at least 1")
+    if skew < 0.0:
+        raise InvalidParameterError("skew must be non-negative")
+    if n < 3 * blocks:
+        raise InvalidParameterError(f"need n >= 3 * blocks (= {3 * blocks}), got {n}")
+    weights = [(i + 1) ** -skew for i in range(blocks)]
+    total = sum(weights)
+    sizes = [max(3, int(n * w / total)) for w in weights]
+    sizes[0] += n - sum(sizes)  # the largest block absorbs the rounding
+    if sizes[0] < 3:  # pragma: no cover - unreachable with n >= 3 * blocks
+        raise InvalidParameterError("size skew left the first block below 3")
+    return sizes
+
+
+def stochastic_block_model(
+    block_sizes: Sequence[int],
+    p_matrix: Sequence[Sequence[float]],
+    seed: int | random.Random | None = None,
+) -> Graph:
+    """General stochastic block model: ``p_matrix[i][j]`` is the edge
+    probability between blocks ``i`` and ``j``.
+
+    Generalises :func:`community_graph` (a planted partition is the special
+    case of a constant diagonal and a constant off-diagonal) and supports
+    the LFR-style skewed community sizes of :func:`skewed_block_sizes` —
+    the community/SBM axis of the scenario world (:mod:`repro.world`).
+    """
+    if not block_sizes:
+        raise InvalidParameterError("block_sizes must be non-empty")
+    if any(size < 1 for size in block_sizes):
+        raise InvalidParameterError("every block size must be positive")
+    blocks = len(block_sizes)
+    if len(p_matrix) != blocks or any(len(row) != blocks for row in p_matrix):
+        raise InvalidParameterError(
+            f"p_matrix must be {blocks}x{blocks} to match block_sizes"
+        )
+    for i in range(blocks):
+        for j in range(blocks):
+            if not 0.0 <= p_matrix[i][j] <= 1.0:
+                raise InvalidParameterError("p_matrix entries must be in [0, 1]")
+            if p_matrix[i][j] != p_matrix[j][i]:
+                raise InvalidParameterError("p_matrix must be symmetric")
+    rng = make_rng(seed)
+    graph = Graph()
+    members: List[List[int]] = []
+    next_vertex = 0
+    for size in block_sizes:
+        block = list(range(next_vertex, next_vertex + size))
+        next_vertex += size
+        members.append(block)
+        for u in block:
+            graph.add_vertex(u)
+    for i in range(blocks):
+        for u, v in itertools.combinations(members[i], 2):
+            if rng.random() < p_matrix[i][i]:
+                graph.add_edge(u, v)
+        for j in range(i + 1, blocks):
+            p = p_matrix[i][j]
+            for u in members[i]:
+                for v in members[j]:
+                    if rng.random() < p:
+                        graph.add_edge(u, v)
+    return graph
+
+
 def overlapping_cliques_graph(
     num_cliques: int,
     clique_size: int,

@@ -1,0 +1,49 @@
+"""Parameterised scenario world: sampled graph regimes for sweeps and fuzzing.
+
+Fixed benchmark collections share statistical properties and hide
+regime-dependent behaviour (the GraphWorld argument).  This package spans a
+declarative parameter space over the synthetic generators — generator
+family, size, density, clustering rewire, community count/size skew, degree
+skew — and samples *world points* deterministically from a seed:
+
+* :mod:`repro.world.axes` — the parameter space and the seeded sampler;
+  every point carries a compact replay spec string that regenerates the
+  identical graph and anchor schedule anywhere.
+* :mod:`repro.world.sweep` — run every registered solver on each sampled
+  graph and emit quality/latency/engine-stats rows as a table, JSON or CSV
+  (the ``repro.cli world`` subcommand).
+* :mod:`repro.world.invariants` — the metamorphic/differential oracle: per
+  world point and anchor schedule, assert incremental re-peel ≡ full
+  decomposition, tree patch ≡ rebuild, assembled reuse decision ≡ tree
+  diff, candidate heap ≡ scan and all peel backends byte-identical.  A
+  violation raises :class:`~repro.world.invariants.InvariantViolation`
+  whose message contains a one-line ``repro.cli world --replay`` command.
+"""
+
+from repro.world.axes import FAMILIES, WorldAxes, WorldPoint, sample_points
+from repro.world.invariants import (
+    INVARIANTS,
+    InvariantReport,
+    InvariantViolation,
+    check_world_point,
+    replay_command,
+    tree_signature,
+)
+from repro.world.sweep import SWEEP_FIELDS, run_sweep, summarize_sweep, sweep_rows_to_csv
+
+__all__ = [
+    "FAMILIES",
+    "WorldAxes",
+    "WorldPoint",
+    "sample_points",
+    "INVARIANTS",
+    "InvariantReport",
+    "InvariantViolation",
+    "check_world_point",
+    "replay_command",
+    "tree_signature",
+    "SWEEP_FIELDS",
+    "run_sweep",
+    "summarize_sweep",
+    "sweep_rows_to_csv",
+]

@@ -1,0 +1,290 @@
+"""The world's parameter space and the seeded sampler.
+
+A :class:`WorldAxes` declares the axes the scenario world spans: the
+generator family plus ranges for size, density, clustering rewire, degree
+skew (attachment count), community count, community size skew and the
+anchor-schedule length.  :func:`sample_points` draws :class:`WorldPoint`
+instances deterministically from a seed — same seed, same points, on any
+machine — cycling the families round-robin so every sweep covers every
+regime.
+
+A point is self-contained: :meth:`WorldPoint.build_graph` regenerates its
+graph, :meth:`WorldPoint.anchor_schedule` its anchor chain, and
+:meth:`WorldPoint.spec` renders a compact one-line string that
+:meth:`WorldPoint.from_spec` inverts exactly.  The spec string is the rig's
+replay contract: any invariant failure can be reproduced from the single
+line ``python -m repro.cli world --replay "<spec>"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    overlapping_cliques_graph,
+    powerlaw_cluster_graph,
+    skewed_block_sizes,
+    stochastic_block_model,
+    watts_strogatz_graph,
+)
+from repro.graph.graph import Edge, Graph
+from repro.utils.errors import InvalidParameterError
+from repro.utils.rng import make_rng
+
+__all__ = ["FAMILIES", "WorldAxes", "WorldPoint", "sample_points"]
+
+#: Generator families the world spans, in sampling (round-robin) order:
+#: Erdős–Rényi, Barabási–Albert, Watts–Strogatz, Holme–Kim
+#: powerlaw-cluster, stochastic block model with skewed community sizes,
+#: and overlapping cliques.
+FAMILIES: Tuple[str, ...] = ("er", "ba", "ws", "plc", "community", "cliques")
+
+ParamValue = Union[int, float]
+
+
+def _check_range(name: str, lo: ParamValue, hi: ParamValue) -> None:
+    if lo > hi:
+        raise InvalidParameterError(f"axis {name}: low {lo!r} exceeds high {hi!r}")
+
+
+@dataclass(frozen=True)
+class WorldAxes:
+    """Declarative ranges for every axis of the world (inclusive bounds)."""
+
+    #: Generator families to cycle through (subset of :data:`FAMILIES`).
+    families: Tuple[str, ...] = FAMILIES
+    #: Vertex count range.
+    n: Tuple[int, int] = (12, 44)
+    #: Edge density: ER's ``p`` and (shifted up) the SBM intra-community ``p``.
+    density: Tuple[float, float] = (0.15, 0.5)
+    #: Rewiring / triangle-closure probability (WS ``p``, PLC ``p``).
+    rewire: Tuple[float, float] = (0.05, 0.6)
+    #: Attachment count (BA/PLC ``m``) — the degree-skew knob.
+    degree_skew: Tuple[int, int] = (1, 4)
+    #: Community count for the SBM family.
+    communities: Tuple[int, int] = (2, 4)
+    #: Power-law exponent of the SBM community-size skew
+    #: (see :func:`repro.graph.generators.skewed_block_sizes`).
+    size_skew: Tuple[float, float] = (0.0, 2.5)
+    #: SBM inter-community edge probability.
+    inter_density: Tuple[float, float] = (0.02, 0.12)
+    #: Anchor-schedule length range.
+    anchors: Tuple[int, int] = (3, 6)
+
+    def __post_init__(self) -> None:
+        if not self.families:
+            raise InvalidParameterError("families must be non-empty")
+        unknown = set(self.families) - set(FAMILIES)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown families {sorted(unknown)}; known: {FAMILIES}"
+            )
+        for name in ("n", "density", "rewire", "degree_skew", "communities",
+                     "size_skew", "inter_density", "anchors"):
+            lo, hi = getattr(self, name)
+            _check_range(name, lo, hi)
+        if self.n[0] < 6:
+            raise InvalidParameterError("n must be at least 6")
+        if self.anchors[0] < 0:
+            raise InvalidParameterError("anchors must be non-negative")
+
+
+@dataclass(frozen=True)
+class WorldPoint:
+    """One sampled point of the world: a graph recipe plus an anchor schedule.
+
+    Immutable and fully self-describing — every field is derivable from the
+    :meth:`spec` string, so a point can be shipped as one line of text and
+    regenerated exactly (:meth:`from_spec`).
+    """
+
+    family: str
+    n: int
+    seed: int
+    params: Tuple[Tuple[str, ParamValue], ...] = field(default_factory=tuple)
+    anchor_count: int = 4
+    anchor_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise InvalidParameterError(
+                f"unknown family {self.family!r}; known: {FAMILIES}"
+            )
+        if self.anchor_count < 0:
+            raise InvalidParameterError("anchor_count must be non-negative")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def param(self, name: str) -> ParamValue:
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise InvalidParameterError(f"point has no parameter {name!r}")
+
+    def build_graph(self) -> Graph:
+        """Regenerate this point's graph (deterministic in the point alone)."""
+        p = dict(self.params)
+        if self.family == "er":
+            return erdos_renyi_graph(self.n, p["p"], seed=self.seed)
+        if self.family == "ba":
+            return barabasi_albert_graph(self.n, int(p["m"]), seed=self.seed)
+        if self.family == "ws":
+            return watts_strogatz_graph(self.n, int(p["k"]), p["p"], seed=self.seed)
+        if self.family == "plc":
+            return powerlaw_cluster_graph(self.n, int(p["m"]), p["p"], seed=self.seed)
+        if self.family == "community":
+            blocks = int(p["blocks"])
+            sizes = skewed_block_sizes(self.n, blocks, p["skew"])
+            p_in, p_out = p["p_in"], p["p_out"]
+            matrix = [
+                [p_in if i == j else p_out for j in range(blocks)]
+                for i in range(blocks)
+            ]
+            return stochastic_block_model(sizes, matrix, seed=self.seed)
+        assert self.family == "cliques"
+        return overlapping_cliques_graph(
+            int(p["cliques"]),
+            int(p["size"]),
+            int(p["overlap"]),
+            noise_edges=int(p["noise"]),
+            seed=self.seed,
+        )
+
+    def anchor_schedule(self, graph: Optional[Graph] = None) -> List[Edge]:
+        """The point's deterministic anchor chain (a seeded edge sample)."""
+        if graph is None:
+            graph = self.build_graph()
+        rng = make_rng(self.anchor_seed)
+        edges = graph.edge_list()
+        return rng.sample(edges, min(self.anchor_count, len(edges)))
+
+    def spec(self) -> str:
+        """Compact one-line replay spec; inverted exactly by :meth:`from_spec`."""
+        parts = [
+            self.family,
+            f"n={self.n}",
+            f"seed={self.seed}",
+            f"anchors={self.anchor_count}@{self.anchor_seed}",
+        ]
+        parts.extend(f"{key}={value!r}" for key, value in self.params)
+        return ";".join(parts)
+
+    @classmethod
+    def from_spec(cls, text: str) -> "WorldPoint":
+        """Parse a :meth:`spec` string back into the identical point."""
+        parts = [part.strip() for part in text.strip().split(";") if part.strip()]
+        if not parts or "=" in parts[0]:
+            raise InvalidParameterError(
+                f"malformed point spec {text!r}: must start with a family name"
+            )
+        family = parts[0]
+        n = seed = None
+        anchor_count, anchor_seed = 0, 0
+        params: List[Tuple[str, ParamValue]] = []
+        for part in parts[1:]:
+            if "=" not in part:
+                raise InvalidParameterError(f"malformed spec field {part!r}")
+            key, _, raw = part.partition("=")
+            try:
+                if key == "n":
+                    n = int(raw)
+                elif key == "seed":
+                    seed = int(raw)
+                elif key == "anchors":
+                    count_raw, _, aseed_raw = raw.partition("@")
+                    anchor_count = int(count_raw)
+                    anchor_seed = int(aseed_raw) if aseed_raw else 0
+                else:
+                    params.append((key, _parse_value(raw)))
+            except ValueError as exc:
+                raise InvalidParameterError(
+                    f"malformed spec field {part!r}: {exc}"
+                ) from exc
+        if n is None or seed is None:
+            raise InvalidParameterError(f"spec {text!r} is missing n= or seed=")
+        return cls(
+            family=family,
+            n=n,
+            seed=seed,
+            params=tuple(params),
+            anchor_count=anchor_count,
+            anchor_seed=anchor_seed,
+        )
+
+    def label(self) -> str:
+        """Short display label (not a replay spec)."""
+        return f"{self.family}-n{self.n}-s{self.seed}"
+
+
+def _parse_value(raw: str) -> ParamValue:
+    try:
+        return int(raw)
+    except ValueError:
+        return float(raw)
+
+
+def _round(value: float) -> float:
+    # 6 decimals keeps spec strings compact; repr round-trips exactly.
+    return round(value, 6)
+
+
+def _sample_point(family: str, axes: WorldAxes, rng) -> WorldPoint:
+    n = rng.randint(*axes.n)
+    params: List[Tuple[str, ParamValue]] = []
+    if family == "er":
+        params.append(("p", _round(rng.uniform(*axes.density))))
+    elif family == "ba":
+        params.append(("m", min(rng.randint(*axes.degree_skew), n - 1)))
+    elif family == "ws":
+        half = rng.randint(1, max(1, min(3, (n - 1) // 2)))
+        params.append(("k", 2 * half))
+        params.append(("p", _round(rng.uniform(*axes.rewire))))
+    elif family == "plc":
+        params.append(("m", min(rng.randint(*axes.degree_skew), n - 1)))
+        params.append(("p", _round(rng.uniform(*axes.rewire))))
+    elif family == "community":
+        blocks = max(2, min(rng.randint(*axes.communities), n // 3))
+        params.append(("blocks", blocks))
+        params.append(("skew", _round(rng.uniform(*axes.size_skew))))
+        # intra-community density is shifted up so communities host triangles
+        params.append(("p_in", _round(min(0.9, rng.uniform(*axes.density) + 0.25))))
+        params.append(("p_out", _round(rng.uniform(*axes.inter_density))))
+    else:
+        assert family == "cliques"
+        size = rng.randint(4, 6)
+        params.append(("size", size))
+        params.append(("cliques", max(2, n // size)))
+        params.append(("overlap", rng.randint(1, size - 2)))
+        params.append(("noise", rng.randint(0, max(1, n // 6))))
+    return WorldPoint(
+        family=family,
+        n=n,
+        seed=rng.randint(0, 9_999_999),
+        params=tuple(params),
+        anchor_count=rng.randint(*axes.anchors),
+        anchor_seed=rng.randint(0, 9_999_999),
+    )
+
+
+def sample_points(
+    count: int,
+    seed: int = 0,
+    axes: Optional[WorldAxes] = None,
+) -> List[WorldPoint]:
+    """Sample ``count`` world points deterministically from ``seed``.
+
+    Families cycle round-robin through ``axes.families`` (so a sample of at
+    least ``len(axes.families)`` points covers every family); everything
+    else is drawn from one :func:`repro.utils.rng.make_rng` stream, making
+    the whole list a pure function of ``(count, seed, axes)``.
+    """
+    if count < 0:
+        raise InvalidParameterError("count must be non-negative")
+    axes = axes if axes is not None else WorldAxes()
+    rng = make_rng(seed)
+    return [
+        _sample_point(axes.families[i % len(axes.families)], axes, rng)
+        for i in range(count)
+    ]

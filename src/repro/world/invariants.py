@@ -1,0 +1,298 @@
+"""The metamorphic/differential oracle run per sampled world point.
+
+One call to :func:`check_world_point` asserts the engine's full invariant
+bundle against a point's graph and anchor schedule:
+
+``incremental_repeel``
+    After every committed anchor, the forced-incremental engine state must
+    equal a from-scratch full decomposition — trussness, peeling layers,
+    anchor mask and ``k_max``, all byte-identical.
+``tree_patch``
+    The incrementally patched component tree must be structurally identical
+    to a tree rebuilt from the post-commit state.
+``reuse_decision``
+    The patch-assembled :meth:`SolverEngine.take_reuse_decision` must equal
+    the classic before/after tree diff of a rebuild-mode twin engine.
+``candidate_heap``
+    GAS with the candidate heap must return byte-identical anchors, gains
+    and followers to the full-scan reference across tree modes.
+``peel_backends``
+    Every peel backend — the scalar reference, the vectorised wave peel,
+    the uncompiled numba twin and (when installed) the compiled twin — must
+    produce identical ``(trussness, layer, k_max)`` triples.
+
+A failed check raises :class:`InvariantViolation`, whose message embeds the
+single self-contained replay line::
+
+    python -m repro.cli world --replay "<point-spec>"
+
+so any fuzzed failure reproduces from one pasted command.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import engine as engine_module
+from repro.core.component_tree import TrussComponentTree
+from repro.graph.graph import Graph
+from repro.graph.index import GraphIndex, peel_trussness
+from repro.truss import peel as peel_module
+from repro.truss.state import TrussState
+from repro.utils.errors import ReproError
+from repro.world.axes import WorldPoint
+
+__all__ = [
+    "INVARIANTS",
+    "InvariantReport",
+    "InvariantViolation",
+    "check_world_point",
+    "replay_command",
+    "tree_signature",
+]
+
+#: Names of the oracle's checks, in execution order.
+INVARIANTS: Tuple[str, ...] = (
+    "incremental_repeel",
+    "tree_patch",
+    "reuse_decision",
+    "candidate_heap",
+    "peel_backends",
+)
+
+_ALWAYS_INCREMENTAL = math.inf
+
+
+def replay_command(point: WorldPoint) -> str:
+    """The one-line command that reproduces a failure of ``point``."""
+    return f'python -m repro.cli world --replay "{point.spec()}"'
+
+
+class InvariantViolation(ReproError):
+    """An engine invariant failed on a sampled world point."""
+
+    def __init__(self, point: WorldPoint, invariant: str, detail: str) -> None:
+        self.point = point
+        self.invariant = invariant
+        self.detail = detail
+        super().__init__(
+            f"invariant {invariant!r} violated on world point {point.spec()!r}: "
+            f"{detail}\n  replay: {replay_command(point)}"
+        )
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """What one :func:`check_world_point` pass covered (all checks passed)."""
+
+    point: WorldPoint
+    num_vertices: int
+    num_edges: int
+    schedule_length: int
+    checks: Tuple[str, ...]
+
+
+def tree_signature(tree: TrussComponentTree):
+    """Everything that defines a kernel-built tree, in comparable form."""
+    nodes = {
+        nid: (node.k, node.edges, node.edge_ids, node.parent, frozenset(node.children))
+        for nid, node in tree.nodes.items()
+    }
+    m = tree.state.index.num_edges
+    sla = tuple(frozenset(tree.sla_sets[eid] or ()) for eid in range(m))
+    return (
+        nodes,
+        dict(tree.node_of_edge),
+        frozenset(tree.roots),
+        tuple(tree.node_of_eid),
+        sla,
+    )
+
+
+def _state_views(state: TrussState):
+    _index, truss, layer, mask = state.kernel_views()
+    return list(truss), list(layer), bytes(mask), state.k_max
+
+
+def _check_incremental_repeel(point: WorldPoint, graph: Graph, schedule) -> None:
+    engine = engine_module.SolverEngine(
+        graph, full_peel_threshold=_ALWAYS_INCREMENTAL
+    )
+    for i, edge in enumerate(schedule):
+        engine.commit_anchor(edge)
+        got = _state_views(engine.state)
+        want = _state_views(TrussState.compute(graph, schedule[: i + 1]))
+        if got != want:
+            fields = ("trussness", "layer", "anchor mask", "k_max")
+            diverged = [name for name, g, w in zip(fields, got, want) if g != w]
+            raise InvariantViolation(
+                point,
+                "incremental_repeel",
+                f"after commit {i + 1}/{len(schedule)} ({edge!r}) the "
+                f"incremental state diverges from the full decomposition "
+                f"in: {', '.join(diverged)}",
+            )
+
+
+def _check_tree_patch(point: WorldPoint, graph: Graph, schedule) -> None:
+    engine = engine_module.SolverEngine(
+        graph, full_peel_threshold=_ALWAYS_INCREMENTAL
+    )
+    engine.tree()
+    for i, edge in enumerate(schedule):
+        engine.commit_anchor(edge)
+        patched = engine.tree()
+        rebuilt = TrussComponentTree.build(engine.state)
+        if tree_signature(patched) != tree_signature(rebuilt):
+            raise InvariantViolation(
+                point,
+                "tree_patch",
+                f"after commit {i + 1}/{len(schedule)} ({edge!r}) the patched "
+                "component tree differs from a from-scratch rebuild",
+            )
+
+
+def _check_reuse_decision(point: WorldPoint, graph: Graph, schedule) -> None:
+    patch = engine_module.SolverEngine(
+        graph, full_peel_threshold=_ALWAYS_INCREMENTAL, tree_mode="patch"
+    )
+    diff = engine_module.SolverEngine(
+        graph, full_peel_threshold=_ALWAYS_INCREMENTAL, tree_mode="rebuild"
+    )
+    patch.tree()
+    diff.tree()
+    previous = patch.state
+    for i, edge in enumerate(schedule):
+        patch.commit_anchor(edge)
+        diff.commit_anchor(edge)
+        current = patch.state
+        followers = current.followers_relative_to(previous)
+        previous = current
+        from_patch = patch.take_reuse_decision(edge, followers)
+        from_diff = diff.take_reuse_decision(edge, followers)
+        where = f"after commit {i + 1}/{len(schedule)} ({edge!r})"
+        if from_patch is None or from_diff is None:
+            raise InvariantViolation(
+                point,
+                "reuse_decision",
+                f"{where} a single-commit decision came back None "
+                f"(patch={from_patch!r}, diff={from_diff!r})",
+            )
+        if (
+            from_patch.decision.invalid_node_ids != from_diff.decision.invalid_node_ids
+            or from_patch.decision.invalid_edges != from_diff.decision.invalid_edges
+        ):
+            raise InvariantViolation(
+                point,
+                "reuse_decision",
+                f"{where} the patch-assembled decision differs from the "
+                "before/after tree diff",
+            )
+        if from_patch.dirty_eids is None or from_diff.dirty_eids is not None:
+            raise InvariantViolation(
+                point,
+                "reuse_decision",
+                f"{where} dirty_eids contract broken (patch must narrow, "
+                "rebuild must re-examine everything)",
+            )
+
+
+def _check_candidate_heap(point: WorldPoint, graph: Graph) -> None:
+    budget = min(3, graph.num_edges)
+    if budget < 1:
+        return
+    gas = engine_module.get_solver("gas")
+    reference = gas(graph, budget, tree_mode="rebuild", candidates="scan")
+    for tree_mode in ("patch", "rebuild"):
+        run = gas(graph, budget, tree_mode=tree_mode, candidates="heap")
+        if (
+            run.anchors != reference.anchors
+            or run.gain != reference.gain
+            or run.per_round_gain != reference.per_round_gain
+            or run.followers != reference.followers
+        ):
+            raise InvariantViolation(
+                point,
+                "candidate_heap",
+                f"gas heap (tree_mode={tree_mode!r}) differs from the full "
+                f"scan: heap gain={run.gain} anchors={run.anchors!r} vs "
+                f"scan gain={reference.gain} anchors={reference.anchors!r}",
+            )
+
+
+def _numba_twin(csr, anchors: Sequence[int]):
+    """The uncompiled numba twin under the shared peel contract."""
+    import numpy as np
+
+    m = csr.num_edges
+    if m == 0:
+        return [], [], 1
+    is_anchor = np.zeros(m, dtype=np.bool_)
+    if anchors:
+        is_anchor[list(anchors)] = True
+    trussness, layer, k_max = peel_module._scalar_peel_on_arrays(
+        m, csr.support.copy(), csr.hit_offsets, csr.hit_e1, csr.hit_e2, is_anchor
+    )
+    return trussness.tolist(), layer.tolist(), int(k_max)
+
+
+def _check_peel_backends(point: WorldPoint, graph: Graph, schedule) -> None:
+    index = GraphIndex.of(graph)
+    anchor_eids = [index.eid_of[edge] for edge in schedule]
+    for anchors in ([], anchor_eids):
+        expected = peel_trussness(index, anchors)
+        if index.csr is None:
+            continue  # no numpy: the scalar reference is the only backend
+        for backend, run in (
+            ("vectorized", lambda: peel_module.peel_trussness_arrays(index.csr, anchors)),
+            ("numba-twin", lambda: _numba_twin(index.csr, anchors)),
+        ):
+            got = run()
+            if got != expected:
+                raise InvariantViolation(
+                    point,
+                    "peel_backends",
+                    f"{backend} peel differs from the scalar reference "
+                    f"(anchors={anchors!r})",
+                )
+        if peel_module.numba_available():  # pragma: no cover - optional extra
+            if peel_module._peel_numba(index.csr, list(anchors)) != expected:
+                raise InvariantViolation(
+                    point,
+                    "peel_backends",
+                    f"compiled numba peel differs from the scalar reference "
+                    f"(anchors={anchors!r})",
+                )
+
+
+def check_world_point(
+    point: WorldPoint,
+    invariants: Sequence[str] = INVARIANTS,
+) -> InvariantReport:
+    """Run the oracle bundle on ``point``; raise :class:`InvariantViolation`
+    on the first failed check, return an :class:`InvariantReport` otherwise.
+    """
+    unknown = set(invariants) - set(INVARIANTS)
+    if unknown:
+        raise ReproError(f"unknown invariants {sorted(unknown)}; known: {INVARIANTS}")
+    graph = point.build_graph()
+    schedule = point.anchor_schedule(graph)
+    if "incremental_repeel" in invariants:
+        _check_incremental_repeel(point, graph, schedule)
+    if "tree_patch" in invariants:
+        _check_tree_patch(point, graph, schedule)
+    if "reuse_decision" in invariants:
+        _check_reuse_decision(point, graph, schedule)
+    if "candidate_heap" in invariants:
+        _check_candidate_heap(point, graph)
+    if "peel_backends" in invariants:
+        _check_peel_backends(point, graph, schedule)
+    return InvariantReport(
+        point=point,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        schedule_length=len(schedule),
+        checks=tuple(name for name in INVARIANTS if name in invariants),
+    )

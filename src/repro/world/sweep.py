@@ -1,0 +1,159 @@
+"""Run every registered solver across sampled world points.
+
+:func:`run_sweep` drives one :class:`~repro.core.engine.SolverEngine` per
+world point through the canonical :class:`~repro.api.SolveSpec` ingress —
+the same path the CLI and the serving layer use — once per registry solver,
+and collects one row per ``(point, solver)`` pair: solution quality (gain,
+follower count, ``k_max``), wall-clock latency and the engine's re-peel /
+tree-maintenance counters.  Rows are plain dicts with the fixed
+:data:`SWEEP_FIELDS` ordering so they serialise directly to JSON and CSV
+(:func:`sweep_rows_to_csv`, shared with the CLI ``world`` subcommand).
+
+Randomized baselines (``rand``/``sup``/``tur``) are pinned to a fixed seed,
+so the whole sweep is a deterministic function of the sampled points.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.spec import SolveSpec
+from repro.core.engine import SolverEngine, available_solvers, get_solver
+from repro.experiments.reporting import format_csv
+from repro.world.axes import WorldPoint
+
+__all__ = ["SWEEP_FIELDS", "run_sweep", "summarize_sweep", "sweep_rows_to_csv"]
+
+#: Column order of a sweep row (JSON objects carry the same keys).
+SWEEP_FIELDS: Tuple[str, ...] = (
+    "point",
+    "family",
+    "n",
+    "m",
+    "k_max",
+    "solver",
+    "budget",
+    "gain",
+    "followers",
+    "elapsed_s",
+    "incremental_peels",
+    "full_peels",
+    "incremental_gain_evals",
+    "full_gain_evals",
+    "tree_patches",
+    "tree_rebuilds",
+)
+
+#: Fixed parameters handed to seed-dependent solvers so a sweep is
+#: deterministic end to end; ``repetitions`` is kept small because the
+#: sweep's job is regime coverage, not squeezing the baselines.
+RANDOMIZED_SOLVER_PARAMS: Mapping[str, Mapping[str, object]] = {
+    "rand": {"seed": 97, "repetitions": 3},
+    "sup": {"seed": 97, "repetitions": 3},
+    "tur": {"seed": 97, "repetitions": 3},
+}
+
+_STAT_FIELDS = (
+    "incremental_peels",
+    "full_peels",
+    "incremental_gain_evals",
+    "full_gain_evals",
+    "tree_patches",
+    "tree_rebuilds",
+)
+
+
+def _solver_budget(name: str, budget: int, num_edges: int) -> int:
+    budget = min(budget, num_edges)
+    if name == "exact":
+        # The exact solver enumerates C(pool, budget) subsets; budget 1 keeps
+        # the sweep linear in m while still exercising its evaluation path.
+        return min(budget, 1)
+    return budget
+
+
+def run_sweep(
+    points: Sequence[WorldPoint],
+    solvers: Optional[Sequence[str]] = None,
+    budget: int = 2,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, object]]:
+    """One row per ``(point, solver)``: quality, latency and engine stats.
+
+    ``solvers`` defaults to every registered solver
+    (:func:`~repro.core.engine.available_solvers`); unknown names fail
+    loudly through :func:`~repro.core.engine.get_solver`.  Points whose
+    graph has fewer than two edges are skipped (reported via ``progress``).
+    """
+    names = list(solvers) if solvers is not None else available_solvers()
+    for name in names:
+        get_solver(name)
+    rows: List[Dict[str, object]] = []
+    for point in points:
+        graph = point.build_graph()
+        if graph.num_edges < 2:
+            if progress is not None:
+                progress(f"skipping {point.spec()}: only {graph.num_edges} edge(s)")
+            continue
+        engine = SolverEngine(graph)
+        k_max = engine.original_state.k_max
+        for name in names:
+            params = dict(RANDOMIZED_SOLVER_PARAMS.get(name, {}))
+            spec = SolveSpec(
+                algorithm=name,
+                budget=_solver_budget(name, budget, graph.num_edges),
+                params=params,
+            )
+            start = time.perf_counter()
+            result = engine.solve_spec(spec)
+            elapsed = time.perf_counter() - start
+            row: Dict[str, object] = {
+                "point": point.spec(),
+                "family": point.family,
+                "n": graph.num_vertices,
+                "m": graph.num_edges,
+                "k_max": k_max,
+                "solver": name,
+                "budget": spec.budget,
+                "gain": result.gain,
+                "followers": len(result.followers),
+                "elapsed_s": round(elapsed, 6),
+            }
+            for stat in _STAT_FIELDS:
+                row[stat] = engine.stats[stat]
+            rows.append(row)
+        if progress is not None:
+            progress(f"swept {point.spec()} ({len(names)} solver(s))")
+    return rows
+
+
+def sweep_rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render sweep rows as CSV text in :data:`SWEEP_FIELDS` order."""
+    return format_csv(
+        SWEEP_FIELDS, [[row.get(field, "") for field in SWEEP_FIELDS] for row in rows]
+    )
+
+
+def summarize_sweep(
+    rows: Sequence[Mapping[str, object]],
+) -> List[Dict[str, object]]:
+    """Aggregate rows per ``(family, solver)``: mean gain/latency over points."""
+    grouped: Dict[Tuple[str, str], List[Mapping[str, object]]] = {}
+    for row in rows:
+        grouped.setdefault((str(row["family"]), str(row["solver"])), []).append(row)
+    summary: List[Dict[str, object]] = []
+    for (family, solver), group in sorted(grouped.items()):
+        count = len(group)
+        summary.append(
+            {
+                "family": family,
+                "solver": solver,
+                "points": count,
+                "mean_gain": round(sum(float(r["gain"]) for r in group) / count, 3),
+                "mean_elapsed_s": round(
+                    sum(float(r["elapsed_s"]) for r in group) / count, 6
+                ),
+            }
+        )
+    return summary

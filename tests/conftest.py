@@ -15,8 +15,10 @@ from repro.graph.generators import (
     paper_figure3_graph,
     powerlaw_cluster_graph,
 )
+from repro.graph.generators import grid_with_shortcuts
 from repro.graph.graph import Graph
 from repro.truss.state import TrussState
+from repro.world.axes import WorldAxes, sample_points
 
 
 @pytest.fixture
@@ -65,6 +67,47 @@ def random_test_graph(seed: int, min_n: int = 6, max_n: int = 16) -> Graph:
         m = min(3, n - 2)
         return powerlaw_cluster_graph(n, max(1, m), rng.uniform(0.3, 0.9), seed=seed)
     return community_graph([n // 2, n - n // 2], p_in=0.6, p_out=0.1, seed=seed)
+
+
+def anchor_schedule(graph: Graph, seed: int, length: int = 5):
+    """Deterministic pseudo-random anchor chain for ``graph``.
+
+    The shared schedule helper of the engine/tree-patch/world suites (it
+    mirrors :meth:`repro.world.WorldPoint.anchor_schedule`): a seeded
+    sample of the edge list, capped at the edge count.
+    """
+    rng = random.Random(seed)
+    edges = graph.edge_list()
+    return rng.sample(edges, min(length, len(edges)))
+
+
+def anchor_eid_sets(m: int, seed: int):
+    """Deterministic anchor samples for an m-edge graph (dense-id domain)."""
+    rng = random.Random(seed)
+    yield []
+    if m:
+        yield [0]
+        yield rng.sample(range(m), min(5, m))
+        yield rng.sample(range(m), min(m, max(1, m // 3)))
+
+
+def world_sweep_graphs():
+    """Deterministic ``(name, graph)`` sweep: degenerate shapes plus sampled
+    world points covering every generator family (the shared replacement for
+    the per-module generator sweeps the kernel suites used to carry)."""
+    yield "empty", Graph()
+    single = Graph()
+    single.add_edge("a", "b")
+    yield "single-edge", single
+    k7 = Graph()
+    for i in range(7):
+        for j in range(i + 1, 7):
+            k7.add_edge(i, j)
+    yield "K7", k7
+    yield "grid", grid_with_shortcuts(6, 6, 0.5, shortcut_edges=8, seed=3)
+    axes = WorldAxes(n=(40, 90))
+    for point in sample_points(2 * len(axes.families), seed=1307, axes=axes):
+        yield point.label(), point.build_graph()
 
 
 # Hypothesis strategy: a small random graph described by an integer seed.

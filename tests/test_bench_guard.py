@@ -264,3 +264,68 @@ class TestKernelV2Section:
             f"cold decomposition guard: reference {reference * 1000:.2f}ms vs "
             f"kernel {kernel * 1000:.2f}ms (< 1.5x)"
         )
+
+
+class TestWorldSection:
+    """PR 8's 'world' section: append-only rules and the recorded trajectory
+    (sweep wall time, per-family engine-speedup spread, zero violations)."""
+
+    def test_world_section_appends_and_is_guarded(self, tmp_path):
+        output = tmp_path / "bench.json"
+        write_report(output, {"kernel_v2": {"v": 7}, "summary": {"a": 1}}, force=False)
+        write_report(
+            output,
+            {
+                "world": {"sweep": {"points": 6}},
+                "summary": {"world_violations": 0},
+            },
+            force=False,
+        )
+        with pytest.raises(SectionExistsError):
+            write_report(output, {"world": {"sweep": {"points": 9}}}, force=False)
+        data = json.loads(output.read_text(encoding="utf-8"))
+        assert data["world"] == {"sweep": {"points": 6}}
+        assert data["summary"] == {"a": 1, "world_violations": 0}
+
+    def test_repo_trajectory_records_the_world_section(self):
+        data = json.loads(
+            (REPO_ROOT / "BENCH_kernel.json").read_text(encoding="utf-8")
+        )
+        assert "world" in data
+        section = data["world"]
+        # the PR 8 acceptance: >= 5 families swept, rig clean, wall recorded
+        assert len(section["sweep"]["families"]) >= 5
+        assert section["sweep"]["wall_s"] > 0
+        assert section["sweep"]["rows"] > 0
+        assert section["invariants"]["violations"] == 0
+        assert section["invariants"]["points_checked"] >= section["sweep"]["points"]
+        spread = section["engine_speedup_by_family"]
+        assert len(spread) >= 5
+        for entry in spread.values():
+            assert entry["min"] <= entry["median"] <= entry["max"]
+            assert entry["points"] >= 1
+        assert section["summary"]["violations"] == 0
+        # earlier sections are untouched history
+        assert {"decomposition", "engine", "kernel_v2"} <= set(data)
+        assert data["summary"]["world_violations"] == 0
+
+    def test_merge_world_summary(self):
+        report = {
+            "world": {
+                "summary": {
+                    "sweep_wall_s": 12.5,
+                    "families": 6,
+                    "violations": 0,
+                    "engine_speedup_median_min": 1.1,
+                    "engine_speedup_median_max": 2.0,
+                }
+            },
+            "summary": {},
+        }
+        bench_kernel.merge_world_summary(report)
+        summary = report["summary"]
+        assert summary["world_sweep_wall_s"] == 12.5
+        assert summary["world_families"] == 6
+        assert summary["world_violations"] == 0
+        assert summary["world_engine_speedup_median_min"] == 1.1
+        assert summary["world_engine_speedup_median_max"] == 2.0

@@ -20,7 +20,6 @@ import pytest
 from repro.graph.generators import (
     barabasi_albert_graph,
     community_graph,
-    grid_with_shortcuts,
     overlapping_cliques_graph,
     powerlaw_cluster_graph,
     watts_strogatz_graph,
@@ -43,6 +42,9 @@ from repro.truss.peel import (
 )
 from repro.utils.errors import InvalidParameterError
 
+from tests.conftest import anchor_eid_sets as anchor_sets
+from tests.conftest import world_sweep_graphs as sweep_graphs
+
 np = pytest.importorskip("numpy")
 
 from repro.graph.csr import (  # noqa: E402 - guarded by the importorskip
@@ -51,37 +53,6 @@ from repro.graph.csr import (  # noqa: E402 - guarded by the importorskip
     csr_from_payload,
     csr_payload,
 )
-
-
-def sweep_graphs():
-    """Deterministic generator sweep: (name, graph) pairs covering degenerate,
-    structured and random shapes."""
-    yield "empty", Graph()
-    single = Graph()
-    single.add_edge("a", "b")
-    yield "single-edge", single
-    k7 = Graph()
-    for i in range(7):
-        for j in range(i + 1, 7):
-            k7.add_edge(i, j)
-    yield "K7", k7
-    yield "grid", grid_with_shortcuts(6, 6, 0.5, shortcut_edges=8, seed=3)
-    yield "cliques", overlapping_cliques_graph(5, 6, 2, noise_edges=10, seed=4)
-    for seed in range(5):
-        yield f"plc-{seed}", powerlaw_cluster_graph(90, 3, 0.4, seed=seed)
-        yield f"community-{seed}", community_graph([25, 25, 25], 0.3, 0.02, seed=seed)
-        yield f"ba-{seed}", barabasi_albert_graph(110, 3, seed=seed)
-        yield f"ws-{seed}", watts_strogatz_graph(110, 6, 0.2, seed=seed)
-
-
-def anchor_sets(m: int, seed: int):
-    """Deterministic anchor samples for an m-edge graph (dense-id domain)."""
-    rng = random.Random(seed)
-    yield []
-    if m:
-        yield [0]
-        yield rng.sample(range(m), min(5, m))
-        yield rng.sample(range(m), min(m, max(1, m // 3)))
 
 
 def run_numba_twin(csr, anchors):

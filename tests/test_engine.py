@@ -33,19 +33,12 @@ from repro.truss.decomposition import truss_decomposition
 from repro.truss.state import TrussState
 from repro.utils.errors import InvalidParameterError
 
-from tests.conftest import random_test_graph
+from tests.conftest import anchor_schedule, random_test_graph
 
 #: Force the incremental path (the closure can never exceed this fraction).
 ALWAYS_INCREMENTAL = math.inf
 #: Force the full-peel fallback (any non-empty closure exceeds 0 edges).
 ALWAYS_FULL = 0.0
-
-
-def _anchor_chain(graph, seed: int, length: int = 5):
-    """A deterministic pseudo-random anchor chain for a graph."""
-    rng = random.Random(seed)
-    edges = graph.edge_list()
-    return rng.sample(edges, min(length, len(edges)))
 
 
 class TestRegistry:
@@ -117,7 +110,7 @@ class TestIncrementalRePeeling:
             pytest.skip("graph too small")
         kwargs = {} if threshold is None else {"full_peel_threshold": threshold}
         engine = SolverEngine(graph, **kwargs)
-        chain = _anchor_chain(graph, seed)
+        chain = anchor_schedule(graph, seed)
         for i, edge in enumerate(chain):
             engine.commit_anchor(edge)
             state = engine.state
@@ -132,7 +125,7 @@ class TestIncrementalRePeeling:
         graph = random_test_graph(seed + 4300, min_n=12, max_n=20)
         if graph.num_edges < 8:
             pytest.skip("graph too small")
-        chain = _anchor_chain(graph, seed, length=4)
+        chain = anchor_schedule(graph, seed, length=4)
         incremental = SolverEngine(graph, full_peel_threshold=ALWAYS_INCREMENTAL)
         full = SolverEngine(graph, full_peel_threshold=ALWAYS_FULL)
         for edge in chain:
@@ -152,7 +145,7 @@ class TestIncrementalRePeeling:
         graph = random_test_graph(seed + 4400, min_n=10, max_n=16)
         if graph.num_edges < 8:
             pytest.skip("graph too small")
-        anchors = _anchor_chain(graph, seed, length=2)
+        anchors = anchor_schedule(graph, seed, length=2)
         engine = SolverEngine(graph)
         for edge in anchors:
             engine.commit_anchor(edge)
@@ -232,7 +225,7 @@ class TestSolverEquivalence:
         graph = random_test_graph(seed + 4700, min_n=12, max_n=18)
         if graph.num_edges < 8:
             pytest.skip("graph too small")
-        initial = _anchor_chain(graph, seed, length=2)
+        initial = anchor_schedule(graph, seed, length=2)
         fast = engine_fn(graph, 3, initial_anchors=initial)
         reference = reference_fn(graph, 3, initial_anchors=initial)
         assert fast.anchors == reference.anchors

@@ -14,6 +14,8 @@ from repro.graph.generators import (
     paper_figure1_graph,
     paper_figure3_graph,
     powerlaw_cluster_graph,
+    skewed_block_sizes,
+    stochastic_block_model,
     union_of_graphs,
     watts_strogatz_graph,
 )
@@ -93,6 +95,59 @@ class TestStructuredModels:
             overlapping_cliques_graph(3, 2, 1)
         with pytest.raises(InvalidParameterError):
             overlapping_cliques_graph(3, 5, 5)
+
+    def test_skewed_block_sizes_partition(self):
+        sizes = skewed_block_sizes(40, 4, skew=1.5)
+        assert sum(sizes) == 40
+        assert all(size >= 3 for size in sizes)
+        # heavier skew concentrates mass in the first block
+        assert sizes[0] >= sizes[-1]
+        assert skewed_block_sizes(40, 4, skew=1.5) == sizes
+
+    def test_skewed_block_sizes_uniform_at_zero_skew(self):
+        sizes = skewed_block_sizes(30, 3, skew=0.0)
+        assert sum(sizes) == 30
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_skewed_block_sizes_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            skewed_block_sizes(40, 0, skew=1.0)
+        with pytest.raises(InvalidParameterError):
+            skewed_block_sizes(40, 2, skew=-0.5)
+        with pytest.raises(InvalidParameterError):
+            skewed_block_sizes(5, 2, skew=1.0)  # n < 3 * blocks
+
+    def test_stochastic_block_model_determinism(self):
+        p = [[0.8, 0.05], [0.05, 0.6]]
+        a = stochastic_block_model([10, 12], p, seed=9)
+        b = stochastic_block_model([10, 12], p, seed=9)
+        assert a == b
+        assert a.num_vertices == 22
+
+    def test_stochastic_block_model_density_structure(self):
+        g = stochastic_block_model([15, 15], [[0.9, 0.02], [0.02, 0.9]], seed=10)
+        inside = sum(1 for u, v in g.edges() if (u < 15) == (v < 15))
+        across = g.num_edges - inside
+        assert inside > across
+
+    def test_stochastic_block_model_extreme_probabilities(self):
+        full = stochastic_block_model([4, 4], [[1.0, 1.0], [1.0, 1.0]], seed=0)
+        assert full.num_edges == 28  # K8
+        empty = stochastic_block_model([4, 4], [[0.0, 0.0], [0.0, 0.0]], seed=0)
+        assert empty.num_edges == 0
+        assert empty.num_vertices == 8
+
+    def test_stochastic_block_model_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            stochastic_block_model([], [[0.5]])
+        with pytest.raises(InvalidParameterError):
+            stochastic_block_model([5, -1], [[0.5, 0.1], [0.1, 0.5]])
+        with pytest.raises(InvalidParameterError):
+            stochastic_block_model([5, 5], [[0.5, 0.1]])  # not square
+        with pytest.raises(InvalidParameterError):
+            stochastic_block_model([5, 5], [[0.5, 0.1], [0.2, 0.5]])  # asymmetric
+        with pytest.raises(InvalidParameterError):
+            stochastic_block_model([5, 5], [[0.5, 1.5], [1.5, 0.5]])  # p > 1
 
     def test_grid_with_shortcuts_sizes(self):
         g = grid_with_shortcuts(4, 5, diagonal_probability=1.0)

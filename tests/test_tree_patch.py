@@ -17,34 +17,12 @@ from repro.core.component_tree import TrussComponentTree
 from repro.core.engine import SolverEngine, get_solver
 from repro.graph.graph import Graph
 from repro.utils.errors import InvalidParameterError
+from repro.world.invariants import tree_signature
 
-from tests.conftest import random_test_graph
+from tests.conftest import anchor_schedule, random_test_graph
 
 #: Force the incremental re-peel (the closure can never exceed this).
 ALWAYS_INCREMENTAL = math.inf
-
-
-def tree_signature(tree: TrussComponentTree):
-    """Everything that defines a kernel-built tree, in comparable form."""
-    nodes = {
-        nid: (node.k, node.edges, node.edge_ids, node.parent, frozenset(node.children))
-        for nid, node in tree.nodes.items()
-    }
-    m = tree.state.index.num_edges
-    sla = tuple(frozenset(tree.sla_sets[eid] or ()) for eid in range(m))
-    return (
-        nodes,
-        dict(tree.node_of_edge),
-        frozenset(tree.roots),
-        tuple(tree.node_of_eid),
-        sla,
-    )
-
-
-def _chain(graph, seed: int, length: int = 6):
-    rng = random.Random(seed)
-    edges = graph.edge_list()
-    return rng.sample(edges, min(length, len(edges)))
 
 
 def _double_k4_graph() -> Graph:
@@ -73,7 +51,7 @@ class TestTreePatchEquivalence:
         if graph.num_edges < 8:
             pytest.skip("graph too small")
         engine = SolverEngine(graph, full_peel_threshold=ALWAYS_INCREMENTAL)
-        for edge in _chain(graph, seed):
+        for edge in anchor_schedule(graph, seed, length=6):
             engine.commit_anchor(edge)
             patched = engine.tree()
             rebuilt = TrussComponentTree.build(engine.state)
@@ -88,7 +66,7 @@ class TestTreePatchEquivalence:
         if graph.num_edges < 8:
             pytest.skip("graph too small")
         engine = SolverEngine(graph)
-        for edge in _chain(graph, seed):
+        for edge in anchor_schedule(graph, seed, length=6):
             engine.commit_anchor(edge)
             assert tree_signature(engine.tree()) == tree_signature(
                 TrussComponentTree.build(engine.state)
@@ -102,7 +80,7 @@ class TestTreePatchEquivalence:
             pytest.skip("graph too small")
         engine = SolverEngine(graph, full_peel_threshold=ALWAYS_INCREMENTAL)
         engine.tree()
-        chain = _chain(graph, seed, length=8)
+        chain = anchor_schedule(graph, seed, length=8)
         for i, edge in enumerate(chain):
             engine.commit_anchor(edge)
             if i % 3 == 2 or i == len(chain) - 1:
@@ -227,7 +205,7 @@ class TestAssembledDecision:
         patch.tree()
         diff.tree()
         previous = patch.state
-        for edge in _chain(graph, seed, length=5):
+        for edge in anchor_schedule(graph, seed, length=5):
             patch.commit_anchor(edge)
             diff.commit_anchor(edge)
             current = patch.state
