@@ -55,18 +55,24 @@ Two generations of the same harness write into ``BENCH_kernel.json``:
   sampled parameter space, the per-family spread of the incremental
   engine's speedup over forced full re-peels (GAS with
   ``full_peel_threshold`` inf vs 0.0), and the invariant rig pass on the
-  same points (the recorded ``violations`` count must stay 0).
+  same points (the recorded ``violations`` count must stay 0);
+* the **``obs`` section** (PR 9) measures the observability layer
+  (:mod:`repro.obs`): instrumented-vs-uninstrumented warm-path wall clock
+  on the same workload (target: <= 3% overhead), canonical-result byte
+  identity between an obs-off service and a fully armed one (process-global
+  registry + per-request trace), and the content of a live metrics scrape
+  and a completed trace.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--full] [--smoke]
         [--engine-only] [--engine-v2-only] [--service-only] [--api-only]
-        [--resilience-only] [--kernel-v2-only] [--world-only] [--force]
-        [--output PATH]
+        [--resilience-only] [--kernel-v2-only] [--world-only] [--obs-only]
+        [--force] [--output PATH]
 
 ``--engine-only`` / ``--engine-v2-only`` / ``--service-only`` /
 ``--api-only`` / ``--resilience-only`` / ``--kernel-v2-only`` /
-``--world-only`` recompute
+``--world-only`` / ``--obs-only`` recompute
 just that section and
 merge it into the existing output file.  Sections already present in the
 output are **never overwritten** unless ``--force`` is given (the ROADMAP's
@@ -1427,6 +1433,153 @@ def merge_world_summary(report: Dict[str, object]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# obs section (PR 9): telemetry overhead, identity, exposition
+# ---------------------------------------------------------------------------
+def run_obs_section(
+    dataset: str, batches: int, solves_per_batch: int, budget: int
+) -> Dict[str, object]:
+    """Measure the observability layer against its own invariants.
+
+    Three rows: (1) instrumented-vs-uninstrumented warm-path wall clock on
+    the same workload (two thread-executor services, warm sessions,
+    ``memoize=False`` so every request really solves; batches interleaved
+    A/B/B/A to cancel drift, min batch mean per side — target overhead
+    <= 3%); (2) canonical-result byte identity between an obs-off service
+    and a fully armed one (process-global registry + per-request trace);
+    (3) what a live metrics scrape and a completed trace actually contain.
+    """
+    import statistics
+
+    from repro.api.spec import SolveSpec
+    from repro.obs.metrics import MetricsRegistry, set_default_registry
+    from repro.obs.tracing import get_trace, new_trace_id
+    from repro.service import SolveService, canonical_result
+
+    graph = load_dataset(dataset)
+    edges = tuple(graph.edge_list())
+    section: Dict[str, object] = {
+        "description": "observability layer (PR 9): instrumented vs "
+        "uninstrumented warm-path wall clock on the same workload, "
+        "obs-on/off canonical-result byte identity, and the content of a "
+        "live metrics scrape and a completed request trace",
+        "workload": {
+            "dataset": dataset,
+            "edges": graph.num_edges,
+            "algorithm": "gas",
+            "budget": budget,
+            "batches": batches,
+            "solves_per_batch": solves_per_batch,
+        },
+    }
+
+    def _spec(request_id: str) -> SolveSpec:
+        return SolveSpec(
+            request_id=request_id, edges=edges, algorithm="gas", budget=budget
+        )
+
+    def _batch(service: SolveService, tag: str) -> float:
+        start = time.perf_counter()
+        for index in range(solves_per_batch):
+            outcome = service.solve(_spec(f"{tag}-{index}"))
+            assert outcome.ok, outcome.error
+        return (time.perf_counter() - start) / solves_per_batch
+
+    print("== obs: instrumented vs uninstrumented warm path ==")
+    with SolveService(workers=1, memoize=False) as instrumented, SolveService(
+        workers=1, memoize=False, metrics=False
+    ) as bare:
+        # Warm both sessions before measuring.
+        _batch(instrumented, "warm-on")
+        _batch(bare, "warm-off")
+        on_means: List[float] = []
+        off_means: List[float] = []
+        for round_index in range(batches):
+            # A/B/B/A ordering cancels slow drift (thermal, allocator).
+            if round_index % 2 == 0:
+                on_means.append(_batch(instrumented, f"on-{round_index}"))
+                off_means.append(_batch(bare, f"off-{round_index}"))
+            else:
+                off_means.append(_batch(bare, f"off-{round_index}"))
+                on_means.append(_batch(instrumented, f"on-{round_index}"))
+        snapshot = instrumented.metrics.snapshot()
+    on_s = min(on_means)
+    off_s = min(off_means)
+    overhead_pct = (on_s - off_s) / off_s * 100.0
+    section["overhead"] = {
+        "instrumented_s": round(on_s, 6),
+        "uninstrumented_s": round(off_s, 6),
+        "overhead_pct": round(overhead_pct, 2),
+        "target_pct": 3.0,
+        "instrumented_mean_s": round(statistics.mean(on_means), 6),
+        "uninstrumented_mean_s": round(statistics.mean(off_means), 6),
+    }
+    print(
+        f"  per-solve {off_s * 1e3:.3f}ms bare -> {on_s * 1e3:.3f}ms "
+        f"instrumented ({overhead_pct:+.2f}%, target <= 3%)"
+    )
+
+    section["exposition"] = {
+        "counters": sorted(snapshot["counters"]),
+        "histograms": sorted(snapshot["histograms"]),
+        "solve_count": snapshot["histograms"]["service.solve_s"]["count"],
+    }
+
+    print("== obs: canonical-result byte identity (off vs fully armed) ==")
+    with SolveService(workers=1, memoize=False, metrics=False) as service:
+        reference = json.dumps(
+            canonical_result(service.solve(_spec("identity-off")).result),
+            sort_keys=True,
+        )
+    trace_id = new_trace_id("bench")
+    previous = set_default_registry(MetricsRegistry())
+    try:
+        with SolveService(workers=1, memoize=False) as service:
+            traced = service.solve(
+                SolveSpec(
+                    request_id="identity-on",
+                    edges=edges,
+                    algorithm="gas",
+                    budget=budget,
+                    trace_id=trace_id,
+                )
+            )
+    finally:
+        set_default_registry(previous)
+    armed = json.dumps(canonical_result(traced.result), sort_keys=True)
+    identical = armed == reference
+    section["identity"] = {"solver": "gas", "identical": identical}
+    print(f"  identical: {identical}")
+
+    trace_dict = get_trace(trace_id)
+    span_names = sorted(
+        {entry["name"] for entry in (trace_dict or {}).get("spans", [])}
+    )
+    section["trace"] = {
+        "recorded": trace_dict is not None,
+        "spans": len((trace_dict or {}).get("spans", [])),
+        "span_names": span_names,
+    }
+    print(f"  trace spans: {section['trace']['spans']} ({', '.join(span_names)})")
+
+    section["summary"] = {
+        "warm_path_overhead_pct": section["overhead"]["overhead_pct"],
+        "target_overhead_pct": 3.0,
+        "identity": identical,
+        "trace_spans": section["trace"]["spans"],
+    }
+    return section
+
+
+def merge_obs_summary(report: Dict[str, object]) -> None:
+    """Propagate the obs summary into the top-level summary."""
+    obs = report["obs"]["summary"]
+    summary = report.setdefault("summary", {})
+    summary["obs_warm_path_overhead_pct"] = obs["warm_path_overhead_pct"]
+    summary["obs_identity"] = obs["identity"]
+    summary["obs_trace_spans"] = obs["trace_spans"]
+
+
+# ---------------------------------------------------------------------------
 # Append-only output handling (the ROADMAP trajectory rule)
 # ---------------------------------------------------------------------------
 class SectionExistsError(RuntimeError):
@@ -1539,6 +1692,13 @@ def main(argv: List[str] | None = None) -> int:
         "invariant rig pass) and append it to the existing output file",
     )
     parser.add_argument(
+        "--obs-only",
+        action="store_true",
+        help="recompute only the 'obs' section (PR 9: instrumented vs "
+        "uninstrumented warm-path overhead, obs-on/off byte identity, "
+        "metrics/trace exposition) and append it to the existing output file",
+    )
+    parser.add_argument(
         "--api-workers", type=int, default=4,
         help="worker count for the api section's thread-vs-process comparison",
     )
@@ -1617,6 +1777,7 @@ def main(argv: List[str] | None = None) -> int:
         kernel_v2_gas_graphs = {"college": load_dataset("college")}
         kernel_v2_gas_repeats = 2
         world_points, world_budget, world_n = 6, 1, (30, 60)
+        obs_batches, obs_per_batch, obs_budget = 3, 4, 1
     else:
         decomposition_datasets = ["patents", "pokec"] if args.full else ["patents"]
         follower_datasets = ["college", "facebook"]
@@ -1662,6 +1823,7 @@ def main(argv: List[str] | None = None) -> int:
         kernel_v2_gas_graphs = dict(engine_gas_graphs)
         kernel_v2_gas_repeats = 5
         world_points, world_budget, world_n = 18, 2, (60, 120)
+        obs_batches, obs_per_batch, obs_budget = 6, 20, 2
 
     try:
         if args.engine_only:
@@ -1771,6 +1933,21 @@ def main(argv: List[str] | None = None) -> int:
             print(f"\nwrote {args.output} (world section only)")
             print(json.dumps(report["world"]["summary"], indent=2))
             return 0
+
+        if args.obs_only:
+            report = {
+                "obs": run_obs_section(
+                    "college",
+                    obs_batches,
+                    obs_per_batch,
+                    obs_budget,
+                )
+            }
+            merge_obs_summary(report)
+            report = write_report(args.output, report, args.force)
+            print(f"\nwrote {args.output} (obs section only)")
+            print(json.dumps(report["obs"]["summary"], indent=2))
+            return 0
     except SectionExistsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1853,6 +2030,12 @@ def main(argv: List[str] | None = None) -> int:
         world_budget,
         world_n,
     )
+    report["obs"] = run_obs_section(
+        "college",
+        obs_batches,
+        obs_per_batch,
+        obs_budget,
+    )
 
     decomposition_speedup = min(
         entry["anchored_sequence"]["speedup"] for entry in report["decomposition"].values()
@@ -1876,6 +2059,7 @@ def main(argv: List[str] | None = None) -> int:
     merge_api_summary(report)
     merge_kernel_v2_summary(report)
     merge_world_summary(report)
+    merge_obs_summary(report)
 
     try:
         report = write_report(args.output, report, args.force)

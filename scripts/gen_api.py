@@ -33,6 +33,9 @@ from repro.datasets import snap as datasets_snap  # noqa: E402
 from repro.graph import csr as csr_module  # noqa: E402
 from repro.graph import graph as graph_module  # noqa: E402
 from repro.graph import index as index_module  # noqa: E402
+from repro.obs import logs as obs_logs  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.obs import tracing as obs_tracing  # noqa: E402
 from repro.service import batching as service_batching  # noqa: E402
 from repro.service import faults as service_faults  # noqa: E402
 from repro.service import protocol as service_protocol  # noqa: E402
@@ -86,6 +89,11 @@ API_SURFACE = [
     ),
     (
         "Serving layer (`repro.service`)",
+        None,
+        [],
+    ),
+    (
+        "Observability (`repro.obs`)",
         None,
         [],
     ),
@@ -182,6 +190,44 @@ SERVICE_SURFACE = [
     ),
 ]
 
+#: The observability layer: metrics registry, tracing, structured logs.
+OBS_SURFACE = [
+    (
+        obs_metrics,
+        [
+            "MetricsRegistry",
+            "NullMetricsRegistry",
+            "Counter",
+            "Gauge",
+            "Histogram",
+            "set_default_registry",
+            "default_registry",
+            "prometheus_from_snapshot",
+        ],
+    ),
+    (
+        obs_tracing,
+        [
+            "recording",
+            "span",
+            "Trace",
+            "TraceBuffer",
+            "current_trace",
+            "current_trace_id",
+            "new_trace_id",
+            "trace_buffer",
+            "get_trace",
+            "record_foreign_trace",
+            "export_chrome_trace",
+            "format_span_tree",
+        ],
+    ),
+    (
+        obs_logs,
+        ["log_event", "get_logger", "configure_json_logging", "JsonLineFormatter"],
+    ),
+]
+
 DATASETS_SURFACE = [
     (
         datasets_registry,
@@ -203,6 +249,7 @@ DATASETS_SURFACE = [
 COMPOSITE_SECTIONS = {
     "Public API (`repro.api`)": API_MODULE_SURFACE,
     "Serving layer (`repro.service`)": SERVICE_SURFACE,
+    "Observability (`repro.obs`)": OBS_SURFACE,
     "Datasets and the SNAP pipeline (`repro.datasets`)": DATASETS_SURFACE,
     "Graph kernel (`repro.graph`)": GRAPH_SURFACE,
     "Scenario world (`repro.world`)": WORLD_SURFACE,
@@ -275,10 +322,24 @@ METHOD_ALLOWLIST = {
         "submit_sequence",
         "stats",
         "health",
+        "metrics_snapshot",
+        "metrics_text",
         "drain",
         "session_info",
         "close",
     ],
+    "MetricsRegistry": [
+        "counter",
+        "gauge",
+        "histogram",
+        "snapshot",
+        "to_prometheus_text",
+    ],
+    "Counter": ["inc"],
+    "Gauge": ["set", "add"],
+    "Histogram": ["observe", "time", "quantile", "snapshot"],
+    "Trace": ["begin", "end", "add_span", "graft", "to_dict"],
+    "TraceBuffer": ["add", "traces", "get", "clear"],
     "AdmissionControl": ["try_admit", "start", "finish", "wait_idle", "snapshot"],
     "RetryPolicy": ["delay", "schedule"],
     "EngineSessionCache": ["acquire", "stats"],

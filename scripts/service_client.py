@@ -10,11 +10,19 @@ and handy for poking a running server by hand::
     PYTHONPATH=src python scripts/service_client.py \\
         --host 127.0.0.1 --port 7711 \\
         --requests requests.jsonl --output results.jsonl
+
+``--op health`` / ``--op metrics`` sends a single control line instead of
+a request file (the ``{"op": ...}`` probes the serve loop answers in
+place), so the same script scrapes a live server's telemetry::
+
+    PYTHONPATH=src python scripts/service_client.py \\
+        --host 127.0.0.1 --port 7711 --op metrics
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -29,7 +37,13 @@ def main(argv=None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument(
-        "--requests", required=True, help="JSON-lines request file to send"
+        "--requests", default=None, help="JSON-lines request file to send"
+    )
+    parser.add_argument(
+        "--op",
+        choices=("health", "metrics"),
+        default=None,
+        help="send one control line instead of a request file",
     )
     parser.add_argument(
         "--output", default=None, help="response file (default: stdout)"
@@ -39,7 +53,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    lines = Path(args.requests).read_text(encoding="utf-8").splitlines()
+    if (args.requests is None) == (args.op is None):
+        parser.error("provide exactly one of --requests or --op")
+
+    if args.op is not None:
+        lines = [json.dumps({"op": args.op})]
+    else:
+        lines = Path(args.requests).read_text(encoding="utf-8").splitlines()
     responses = request_lines_over_tcp(args.host, args.port, lines, timeout=args.timeout)
     payload = "\n".join(responses) + ("\n" if responses else "")
     if args.output is None:

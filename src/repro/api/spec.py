@@ -86,6 +86,7 @@ _SPEC_JSON_FIELDS = (
     "initial_anchors",
     "engine",
     "deadline_s",
+    "trace_id",
 )
 
 
@@ -175,6 +176,7 @@ class SolveSpec:
     engine: Tuple[Tuple[str, object], ...] = ()
     request_id: str = ""
     deadline_s: Optional[float] = None
+    trace_id: Optional[str] = None
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -201,6 +203,12 @@ class SolveSpec:
                     f"got {self.deadline_s!r}"
                 )
             set_(self, "deadline_s", float(self.deadline_s))
+        if self.trace_id is not None and (
+            not isinstance(self.trace_id, str) or not self.trace_id
+        ):
+            raise SpecError(
+                f"trace_id must be a non-empty string, got {self.trace_id!r}"
+            )
         sources = [s for s in (self.dataset, self.edge_list, self.edges) if s is not None]
         if len(sources) > 1:
             raise SpecError(
@@ -314,6 +322,8 @@ class SolveSpec:
         result — a cached answer is served instantly and therefore always
         within any deadline, so deadline'd and deadline-free repeats of one
         question share a slot (and old specs keep their exact signature).
+        ``trace_id`` is excluded for the same reason: it labels how a
+        request was *served* (observability), never what it computed.
         """
         return (
             self.schema_version,
@@ -349,6 +359,9 @@ class SolveSpec:
             # Emitted only when set, so pre-deadline specs render the exact
             # bytes they always did (the schema-compatibility contract).
             payload["deadline_s"] = self.deadline_s
+        if self.trace_id is not None:
+            # Same contract as deadline_s: absent means absent bytes.
+            payload["trace_id"] = self.trace_id
         return payload
 
     def canonical_json(self) -> str:
@@ -406,6 +419,7 @@ class SolveSpec:
             initial_anchors=payload.get("initial_anchors", ()),
             engine=engine,
             deadline_s=payload.get("deadline_s"),  # type: ignore[arg-type]
+            trace_id=payload.get("trace_id"),  # type: ignore[arg-type]
         )
 
     @classmethod

@@ -27,6 +27,10 @@ Sub-commands
     (``--check``).  ``--smoke`` is the small CI tier; ``--replay
     "<point-spec>"`` re-runs the oracle on the exact point printed by a
     failing rig run.
+``obs``
+    One telemetry round-trip against a live TCP server: send
+    ``{"op": "metrics"}`` (or ``health``) and print the snapshot as pretty
+    JSON or Prometheus text (``--format prom``).
 ``experiment``
     Run one experiment of the harness (table3, fig5, ..., ablation).
 ``report``
@@ -41,7 +45,9 @@ past the GIL.  They also take the resilience knobs ``--max-inflight`` /
 structured ``overloaded`` responses) and ``--deadline-default`` (a
 per-request deadline for specs that carry none); a TCP ``serve`` drains
 gracefully on SIGTERM — stops accepting, finishes in-flight requests,
-then exits.
+then exits.  ``serve --metrics`` arms process-global telemetry
+(:mod:`repro.obs`) for the server's lifetime, and ``solve --trace``
+prints the solve's span tree to stderr.
 
 The solver table is a live view over the registry of
 :mod:`repro.core.engine` — registering a solver anywhere makes it available
@@ -86,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         default="text",
         help="output format (json emits anchors, gain and timings machine-readably)",
+    )
+    solve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the solve's span tree (ingress through the incremental "
+        "peel) and print it to stderr",
     )
 
     def _service_args(command: argparse.ArgumentParser) -> None:
@@ -159,6 +171,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--port", type=int, default=0, help="TCP bind port (0 = ephemeral)"
     )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="arm process-global telemetry for the server's lifetime: kernel "
+        "and resolver hooks report into the service registry and structured "
+        "JSON logs go to stderr; scrape with {\"op\": \"metrics\"} or the "
+        "obs subcommand",
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -215,6 +235,29 @@ def _build_parser() -> argparse.ArgumentParser:
     world.add_argument("--csv", dest="csv_out", default=None, metavar="PATH",
                        help="write sweep rows as CSV")
 
+    obs = sub.add_parser(
+        "obs",
+        help="dump a running server's telemetry (metrics or health) over TCP",
+    )
+    obs.add_argument("--host", default="127.0.0.1", help="server host")
+    obs.add_argument("--port", type=int, required=True, help="server port")
+    obs.add_argument(
+        "--op",
+        choices=("metrics", "health"),
+        default="metrics",
+        help="control op to send (default: metrics)",
+    )
+    obs.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="json (default) pretty-prints the snapshot; prom renders "
+        "metrics in the Prometheus text exposition format",
+    )
+    obs.add_argument(
+        "--timeout", type=float, default=30.0, help="socket timeout in seconds"
+    )
+
     experiment = sub.add_parser("experiment", help="run one experiment of the harness")
     experiment.add_argument("name", choices=available_experiments())
     experiment.add_argument("--profile", choices=sorted(PROFILES), default="laptop")
@@ -248,13 +291,27 @@ def _run_solve(args: argparse.Namespace) -> int:
     if bool(args.dataset) == bool(args.edge_list):
         print("error: provide exactly one of --dataset or --edge-list", file=sys.stderr)
         return 2
+    trace_id = None
+    if args.trace:
+        from repro.obs.tracing import new_trace_id
+
+        trace_id = new_trace_id("cli")
     spec = api.SolveSpec(
         dataset=args.dataset or None,
         edge_list=args.edge_list or None,
         algorithm=args.algorithm,
         budget=args.budget,
+        trace_id=trace_id,
     )
-    outcome = api.solve(spec)
+    if trace_id is not None:
+        from repro.obs.tracing import format_span_tree, recording, span
+
+        with recording(trace_id) as trace:
+            with span("cli.solve", algorithm=args.algorithm, budget=args.budget):
+                outcome = api.solve(spec)
+        print(format_span_tree(trace.to_dict()), file=sys.stderr)
+    else:
+        outcome = api.solve(spec)
     if not outcome.ok:
         # e.g. a budget above the edge count, or exact's combinatorial
         # guard on an instance too large to enumerate.
@@ -285,7 +342,19 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from repro.service import StdioTransport, TcpTransport
 
+    armed_handler = None
+    previous_default = None
     with _make_service(args) as service:
+        if getattr(args, "metrics", False):
+            # Arm the process-global default registry so kernel-level hooks
+            # (peel timings, graph resolution) report into this service's
+            # registry for the server's lifetime, and emit structured JSON
+            # logs on stderr.  Both are restored/detached on exit.
+            from repro.obs.logs import configure_json_logging
+            from repro.obs.metrics import set_default_registry
+
+            previous_default = set_default_registry(service.metrics)
+            armed_handler = configure_json_logging()
         if args.transport == "tcp":
             transport = TcpTransport(host=args.host, port=args.port)
 
@@ -316,6 +385,12 @@ def _run_serve(args: argparse.Namespace) -> int:
             )
         else:
             count = StdioTransport().serve(service)
+        if armed_handler is not None:
+            from repro.obs.logs import get_logger
+            from repro.obs.metrics import set_default_registry
+
+            set_default_registry(previous_default)
+            get_logger().removeHandler(armed_handler)
         print(f"served {count} request(s); {service.stats()}", file=sys.stderr)
     return 0
 
@@ -339,6 +414,31 @@ def _run_batch(args: argparse.Namespace) -> int:
         f"store hits: {store['hits']}"
     )
     return 0 if summary["errors"] == 0 else 1
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    """The ``obs`` command: one control round-trip against a live server."""
+    from repro.obs.metrics import prometheus_from_snapshot
+    from repro.service import request_lines_over_tcp
+
+    lines = request_lines_over_tcp(
+        args.host,
+        args.port,
+        [json.dumps({"op": args.op})],
+        timeout=args.timeout,
+    )
+    if not lines:
+        print("error: no response from server", file=sys.stderr)
+        return 1
+    payload = json.loads(lines[0])
+    if args.format == "prom":
+        if args.op != "metrics":
+            print("error: --format prom requires --op metrics", file=sys.stderr)
+            return 2
+        print(prometheus_from_snapshot(payload), end="")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 def _run_world(args: argparse.Namespace) -> int:
@@ -432,6 +532,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "world":
         return _run_world(args)
+
+    if args.command == "obs":
+        return _run_obs(args)
 
     if args.command == "experiment":
         _result, text = run_experiment(args.name, get_profile(args.profile))

@@ -74,6 +74,7 @@ from repro.core.result import AnchorResult
 from repro.core.reuse import ReuseDecision, ReuseInvalidation, compute_reuse_decision
 from repro.graph.graph import Edge, Graph
 from repro.graph.index import GraphIndex
+from repro.obs.tracing import span as _span
 from repro.truss.peel import peel_trussness_fast
 from repro.truss.decomposition import TrussDecomposition
 from repro.truss.state import TrussState
@@ -539,7 +540,8 @@ class SolverEngine:
             else:
                 span = self._materialized_count - self._tree_commit_index
                 self._invalidation_log.append(("rebuild", (tree, span), None))
-        self._tree = TrussComponentTree.build(state)
+        with _span("engine.tree_rebuild"):
+            self._tree = TrussComponentTree.build(state)
         self.stats["tree_rebuilds"] += 1
         self._tree_state = state
         self._tree_commit_index = self._materialized_count
@@ -620,10 +622,30 @@ class SolverEngine:
         if dirty is None:
             self.stats["full_peels"] += 1
             self._deltas.append(None)
-            return TrussState.compute(self.graph, set(state.anchors) | {new_anchor})
+            with _span("engine.full_peel", edges=m):
+                return TrussState.compute(
+                    self.graph, set(state.anchors) | {new_anchor}
+                )
         self.stats["dirty_edges"] += len(dirty)
         self.stats["incremental_peels"] += 1
 
+        with _span("engine.incremental_peel", dirty_edges=len(dirty)):
+            return self._advance_incremental(
+                state, new_anchor, eid, dirty, truss, layer, mask, m
+            )
+
+    def _advance_incremental(
+        self,
+        state: TrussState,
+        new_anchor: Edge,
+        eid: int,
+        dirty: Set[int],
+        truss,
+        layer,
+        mask,
+        m: int,
+    ) -> TrussState:
+        index = self.index
         followers = _followers_on_arrays(index, truss, eid, dirty)
 
         new_truss: List[float] = list(truss)
@@ -858,7 +880,8 @@ class SolverEngine:
                 )
         self.reset(spec.initial_anchors)
         self.solve_count += 1
-        return solver.fn(self, spec)
+        with _span("engine.solve_spec", algorithm=spec.algorithm, budget=spec.budget):
+            return solver.fn(self, spec)
 
     def session_info(self) -> Dict[str, object]:
         """Session-level diagnostics for long-lived (cached) engines.

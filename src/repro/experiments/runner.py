@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api.spec import SCHEMA_VERSION
 from repro.core.engine import available_solvers
+from repro.obs.metrics import default_registry
 from repro.experiments.ablation import render_ablation, run_ablation
 from repro.experiments.config import ExperimentProfile, get_profile
 from repro.experiments.fig5_exact import render_fig5, run_fig5
@@ -69,7 +70,13 @@ def run_all(profile: Optional[ExperimentProfile] = None, names: Optional[List[st
         f"Registered solvers: {', '.join(available_solvers())}  \n"
         f"Solve API: repro.api v{SCHEMA_VERSION}"
     ]
+    registry = default_registry()
     for name in names:
         (_result, text), elapsed = timed(lambda name=name: run_experiment(name, profile))
+        if registry is not None:
+            # Same histogram/clock primitives as the serving metrics, so an
+            # armed process sees experiment timings next to solve latencies.
+            registry.histogram("experiments.run_s").observe(elapsed)
+            registry.counter(f"experiments.runs.{name}").inc()
         sections.append(f"## {name}  (wall clock {elapsed:.1f}s)\n\n{text}")
     return "\n\n".join(sections)

@@ -1,0 +1,99 @@
+"""Structured JSON log lines on stdlib logging.
+
+One event per line, machine-parseable, with the active trace id attached
+automatically::
+
+    {"ts": 1754640000.12, "level": "INFO", "logger": "repro.service",
+     "event": "pool_rebuild", "trace_id": "t-3f2a...", "fields": {...}}
+
+Nothing here configures logging on import: call sites use
+:func:`log_event`, which is silent until a handler is attached — either by
+the application or by :func:`configure_json_logging` (what the CLI's
+``serve --metrics`` does).  Instrumented modules log at DEBUG/INFO, so the
+default stdlib WARNING threshold keeps them quiet in tests and library
+use.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+from repro.obs import tracing
+
+#: Namespace root for the repo's structured loggers.
+ROOT_LOGGER_NAME = "repro"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Format each record as one sorted-key JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "event": getattr(record, "event", record.getMessage()),
+        }
+        trace_id = getattr(record, "trace_id", None)
+        if trace_id:
+            payload["trace_id"] = trace_id
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload["fields"] = fields
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def get_logger(name: str = ROOT_LOGGER_NAME) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("service")``
+    returns ``repro.service``)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields: object,
+) -> None:
+    """Emit one structured event with the active trace id attached.
+
+    Cheap when the level is disabled (one ``isEnabledFor`` check), so call
+    sites don't need their own guards.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    logger.log(
+        level,
+        event,
+        extra={
+            "event": event,
+            "trace_id": tracing.current_trace_id(),
+            "fields": fields or None,
+        },
+    )
+
+
+def configure_json_logging(
+    stream: Optional[IO[str]] = None,
+    level: int = logging.INFO,
+    logger_name: str = ROOT_LOGGER_NAME,
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``repro`` logger tree.
+
+    Returns the handler so callers can detach it
+    (``logger.removeHandler(handler)``) — the CLI does on server exit.
+    Defaults to stderr, keeping stdout clean for wire responses.
+    """
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter())
+    logger = logging.getLogger(logger_name)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

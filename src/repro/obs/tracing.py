@@ -1,0 +1,384 @@
+"""Lightweight per-request tracing: spans, a ring buffer, Chrome export.
+
+A trace is opened by :func:`recording` (the serving stack opens one per
+request carrying a ``SolveSpec.trace_id``) and populated by :func:`span`
+context managers at the instrumented call sites.  The active trace lives
+in a ``threading.local``, so ``span()`` without a recording in progress is
+a near-no-op — one thread-local read — which is what keeps always-on
+instrumentation in the engine's hot path affordable.
+
+Process-executor propagation works by value: the worker records its own
+trace (same ``trace_id``) and ships the finished spans back inside the
+result payload as relative, JSON-ready dicts; the coordinator either
+grafts them into its live trace (:meth:`Trace.graft`) or records them as a
+standalone foreign trace (:func:`record_foreign_trace`) when no recording
+context is open on the delivering thread.
+
+Completed traces land in a bounded process-global ring buffer
+(:func:`trace_buffer`) and can be exported as Chrome trace-event JSON
+(:func:`export_chrome_trace`, load in ``chrome://tracing`` / Perfetto) or
+rendered as an indented tree (:func:`format_span_tree`, what
+``repro.cli solve --trace`` prints).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.metrics import now
+
+_local = threading.local()
+
+
+def new_trace_id(prefix: str = "t") -> str:
+    """A fresh, short, url-safe trace id (``t-3f2a9c81d4e5`` style)."""
+    return f"{prefix}-{uuid.uuid4().hex[:12]}"
+
+
+class Trace:
+    """One request's span tree, recorded on the ``now()`` clock.
+
+    Spans are stored with absolute clock times and rebased to the earliest
+    start when serialised, so externally timed spans that *predate* the
+    trace object (queue wait measured from the submit timestamp) slot in
+    correctly.  All methods are locked: the thread executor can deliver a
+    process worker's spans from a pool thread while the request thread is
+    still inside a span.
+    """
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.started_unix = time.time()
+        self._lock = threading.Lock()
+        self._spans: List[Dict[str, object]] = []
+        self._stack: List[int] = []
+        self._next_id = 0
+
+    def begin(self, name: str, fields: Optional[Dict[str, object]] = None) -> int:
+        """Open a span as a child of the innermost open span; returns its id."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            parent = self._stack[-1] if self._stack else None
+            self._spans.append(
+                {
+                    "id": span_id,
+                    "parent": parent,
+                    "name": name,
+                    "start": now(),
+                    "end": None,
+                    "fields": dict(fields) if fields else {},
+                }
+            )
+            self._stack.append(span_id)
+            return span_id
+
+    def end(self, span_id: int) -> None:
+        """Close the span; pops any deeper spans left open (defensive)."""
+        stamp = now()
+        with self._lock:
+            while self._stack:
+                popped = self._stack.pop()
+                entry = self._spans[popped]
+                if entry["end"] is None:
+                    entry["end"] = stamp
+                if popped == span_id:
+                    break
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        fields: Optional[Dict[str, object]] = None,
+        parent: Optional[int] = None,
+    ) -> int:
+        """Record an externally timed span (``now()``-clock timestamps).
+
+        Used for intervals measured before the trace existed, e.g. queue
+        wait from the admission timestamp.  The span is attached under
+        ``parent`` (or the innermost open span when ``parent`` is None and
+        one exists).
+        """
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            if parent is None and self._stack:
+                parent = self._stack[-1]
+            self._spans.append(
+                {
+                    "id": span_id,
+                    "parent": parent,
+                    "name": name,
+                    "start": float(start),
+                    "end": float(end),
+                    "fields": dict(fields) if fields else {},
+                }
+            )
+            return span_id
+
+    def graft(
+        self,
+        spans: Sequence[Dict[str, object]],
+        at: float,
+        parent: Optional[int] = None,
+    ) -> None:
+        """Splice wire-form relative spans (a worker's trace) in at ``at``.
+
+        ``spans`` is the ``spans`` list of a :meth:`to_dict` payload:
+        relative ``start_s``/``end_s`` and small integer ids.  Ids are
+        offset past ours and parents remapped; roots attach under
+        ``parent`` (or the innermost open span).
+        """
+        with self._lock:
+            if parent is None and self._stack:
+                parent = self._stack[-1]
+            offset = self._next_id
+            for entry in spans:
+                local_parent = entry.get("parent")
+                self._spans.append(
+                    {
+                        "id": offset + int(entry["id"]),
+                        "parent": (
+                            offset + int(local_parent)
+                            if local_parent is not None
+                            else parent
+                        ),
+                        "name": entry["name"],
+                        "start": at + float(entry["start_s"]),
+                        "end": at + float(entry["end_s"]),
+                        "fields": dict(entry.get("fields") or {}),
+                    }
+                )
+                self._next_id = max(self._next_id, offset + int(entry["id"]) + 1)
+
+    def finalize(self) -> None:
+        """Close any spans left open (crash/early-exit safety)."""
+        stamp = now()
+        with self._lock:
+            while self._stack:
+                entry = self._spans[self._stack.pop()]
+                if entry["end"] is None:
+                    entry["end"] = stamp
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form: spans rebased so the earliest start is 0.0."""
+        with self._lock:
+            spans = [dict(entry) for entry in self._spans]
+        base = min((s["start"] for s in spans), default=0.0)
+        out = []
+        for entry in spans:
+            start = float(entry["start"]) - base
+            end_abs = entry["end"] if entry["end"] is not None else entry["start"]
+            end = float(end_abs) - base
+            out.append(
+                {
+                    "id": entry["id"],
+                    "parent": entry["parent"],
+                    "name": entry["name"],
+                    "start_s": start,
+                    "end_s": end,
+                    "duration_s": end - start,
+                    "fields": entry["fields"],
+                }
+            )
+        return {
+            "trace_id": self.trace_id,
+            "started_unix": self.started_unix,
+            "spans": out,
+        }
+
+
+class TraceBuffer:
+    """A bounded ring buffer of completed traces (JSON-ready dicts)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("trace buffer capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: deque = deque(maxlen=capacity)
+
+    def add(self, trace_dict: Dict[str, object]) -> None:
+        """Append a completed trace, evicting the oldest at capacity."""
+        with self._lock:
+            self._traces.append(trace_dict)
+
+    def traces(self) -> List[Dict[str, object]]:
+        """All buffered traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def get(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """The most recent trace with this id, or ``None``."""
+        with self._lock:
+            for trace_dict in reversed(self._traces):
+                if trace_dict.get("trace_id") == trace_id:
+                    return trace_dict
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+
+_BUFFER = TraceBuffer(256)
+
+
+def trace_buffer() -> TraceBuffer:
+    """The process-global ring buffer completed traces land in."""
+    return _BUFFER
+
+
+def get_trace(trace_id: str) -> Optional[Dict[str, object]]:
+    """Look up the most recent completed trace with this id."""
+    return _BUFFER.get(trace_id)
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace being recorded on this thread, or ``None``."""
+    return getattr(_local, "trace", None)
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace id on this thread, or ``None``."""
+    trace = getattr(_local, "trace", None)
+    return trace.trace_id if trace is not None else None
+
+
+@contextmanager
+def recording(
+    trace_id: Optional[str] = None, buffer: Optional[TraceBuffer] = None
+) -> Iterator[Trace]:
+    """Record a trace on this thread for the duration of the ``with`` body.
+
+    Nesting-safe (the previous active trace is restored on exit); the
+    finished trace is finalised and pushed to ``buffer`` (default: the
+    process-global ring) even when the body raises.
+    """
+    trace = Trace(trace_id or new_trace_id())
+    previous = getattr(_local, "trace", None)
+    _local.trace = trace
+    try:
+        yield trace
+    finally:
+        _local.trace = previous
+        trace.finalize()
+        (buffer if buffer is not None else _BUFFER).add(trace.to_dict())
+
+
+@contextmanager
+def span(name: str, **fields: object) -> Iterator[None]:
+    """Time a region into the active trace; a no-op when none is active.
+
+    The disabled path is one thread-local read, which is why call sites in
+    the engine's hot loops can leave ``span()`` in place unconditionally.
+    """
+    trace = getattr(_local, "trace", None)
+    if trace is None:
+        yield None
+        return
+    span_id = trace.begin(name, fields if fields else None)
+    try:
+        yield None
+    finally:
+        trace.end(span_id)
+
+
+def record_foreign_trace(
+    trace_id: str,
+    spans: Sequence[Dict[str, object]],
+    buffer: Optional[TraceBuffer] = None,
+) -> Dict[str, object]:
+    """Buffer wire-form spans from another process as a standalone trace.
+
+    Covers delivery paths with no recording context open on this thread
+    (the grouped process-executor path hands back per-spec payloads whose
+    traces were recorded worker-side).
+    """
+    trace_dict: Dict[str, object] = {
+        "trace_id": trace_id,
+        "started_unix": time.time(),
+        "spans": [dict(entry) for entry in spans],
+    }
+    (buffer if buffer is not None else _BUFFER).add(trace_dict)
+    return trace_dict
+
+
+def export_chrome_trace(
+    traces: Optional[Sequence[Dict[str, object]]] = None,
+) -> Dict[str, object]:
+    """Render completed traces as Chrome trace-event JSON.
+
+    Load the result in ``chrome://tracing`` or Perfetto; each trace maps
+    to one ``tid`` so concurrent requests stack into separate rows.
+    Defaults to everything currently in the ring buffer.
+    """
+    if traces is None:
+        traces = _BUFFER.traces()
+    events = []
+    for trace_dict in traces:
+        for entry in trace_dict.get("spans", []):
+            events.append(
+                {
+                    "name": entry["name"],
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": trace_dict.get("trace_id", "?"),
+                    "ts": float(entry["start_s"]) * 1e6,
+                    "dur": float(entry["duration_s"]) * 1e6,
+                    "cat": "repro",
+                    "args": entry.get("fields") or {},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def format_span_tree(trace_dict: Dict[str, object]) -> str:
+    """Render a completed trace as an indented tree with durations.
+
+    This is the ``solve --trace`` output::
+
+        trace t-3f2a9c81d4e5
+        └─ cli.solve                          41.2ms
+           └─ engine.solve_spec               40.8ms  algorithm=gas
+              ├─ engine.full_peel             12.1ms
+              └─ engine.incremental_peel       3.4ms  dirty_edges=18
+    """
+    spans = list(trace_dict.get("spans", []))
+    children: Dict[Optional[int], List[Dict[str, object]]] = {}
+    for entry in spans:
+        children.setdefault(entry.get("parent"), []).append(entry)
+    for siblings in children.values():
+        siblings.sort(key=lambda e: (float(e["start_s"]), int(e["id"])))
+
+    lines = [f"trace {trace_dict.get('trace_id', '?')}"]
+
+    def _fmt_duration(seconds: float) -> str:
+        if seconds >= 1.0:
+            return f"{seconds:.2f}s"
+        return f"{seconds * 1e3:.1f}ms"
+
+    def _walk(parent: Optional[int], prefix: str) -> None:
+        siblings = children.get(parent, [])
+        for position, entry in enumerate(siblings):
+            last = position == len(siblings) - 1
+            connector = "└─ " if last else "├─ "
+            fields = entry.get("fields") or {}
+            suffix = (
+                "  " + " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+                if fields
+                else ""
+            )
+            name = str(entry["name"])
+            duration = _fmt_duration(float(entry["duration_s"]))
+            lines.append(f"{prefix}{connector}{name:<34s} {duration:>8s}{suffix}")
+            _walk(entry["id"], prefix + ("   " if last else "│  "))
+
+    _walk(None, "")
+    return "\n".join(lines)

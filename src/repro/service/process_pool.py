@@ -20,11 +20,13 @@ rich objects, so the only pickled types on the result path are builtins.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.api.resolve import GraphResolver
 from repro.api.session import memoizable
 from repro.api.spec import SolveSpec, result_to_json
+from repro.obs.tracing import recording, span
 from repro.service.session_cache import EngineSessionCache
 from repro.utils.errors import ReproError
 
@@ -54,7 +56,25 @@ def init_worker(session_capacity: int = 4, memoize: bool = True) -> None:
 
 
 def _solve_one(spec: SolveSpec, expected_fingerprint: Optional[str]) -> Dict[str, object]:
-    """Serve one spec on this worker's warm state; never raises."""
+    """Serve one spec on this worker's warm state; never raises.
+
+    A traced spec is recorded worker-side — spans cannot cross a process
+    boundary live, so the finished, relative-clock span list rides home in
+    the payload under ``"trace"`` and the coordinator grafts it into the
+    request's trace (or buffers it standalone).
+    """
+    if spec.trace_id is None:
+        return _serve_spec(spec, expected_fingerprint)
+    with recording(spec.trace_id) as trace:
+        with span("worker.solve", algorithm=spec.algorithm, pid=os.getpid()):
+            payload = _serve_spec(spec, expected_fingerprint)
+    payload["trace"] = trace.to_dict()["spans"]
+    return payload
+
+
+def _serve_spec(
+    spec: SolveSpec, expected_fingerprint: Optional[str]
+) -> Dict[str, object]:
     assert _RESOLVER is not None and _SESSIONS is not None
     try:
         graph, fingerprint = _RESOLVER.resolve(spec)

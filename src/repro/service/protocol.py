@@ -73,7 +73,9 @@ def parse_request_line(line: str, default_id: str = "") -> SolveSpec:
 #: requests.  A control line is ``{"op": "<name>"}`` — ``op`` cannot
 #: collide with solve requests because the spec codec rejects unknown
 #: fields, so no valid :class:`SolveSpec` line ever contains it.
-CONTROL_OPS = ("health",)
+#: ``health`` answers the readiness snapshot; ``metrics`` the full
+#: telemetry registry (counters + p50/p95/p99 latency histograms).
+CONTROL_OPS = ("health", "metrics")
 
 
 def parse_control_line(line: str) -> Optional[Tuple[str, Mapping[str, object]]]:

@@ -29,6 +29,9 @@ reused.  ``capacity=0`` disables the store entirely.
 
 from __future__ import annotations
 
+from typing import Hashable, Optional
+
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.lru import PayloadCache
 
 __all__ = ["ResultStore"]
@@ -41,7 +44,30 @@ class ResultStore(PayloadCache):
     read and written concurrently by every coordination thread — plus the
     service-wide default capacity.  Keys are built by the scheduler as
     ``(graph_fingerprint, spec.signature())``.
+
+    Hits, misses and occupancy are additionally mirrored into a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``store.*``) so a single
+    metrics snapshot covers the store alongside the scheduler and session
+    cache; the inherited integer counters stay authoritative for the
+    historical :meth:`stats` shape.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self, capacity: int = 256, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         super().__init__(capacity, thread_safe=True)
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._hit_counter = self.metrics.counter("store.hits")
+        self._miss_counter = self.metrics.counter("store.misses")
+        self._size_gauge = self.metrics.gauge("store.size")
+
+    def get(self, key: Hashable) -> Optional[dict]:
+        payload = super().get(key)
+        if self.enabled:
+            (self._hit_counter if payload is not None else self._miss_counter).inc()
+        return payload
+
+    def put(self, key: Hashable, payload: dict) -> None:
+        super().put(key, payload)
+        if self.enabled:
+            self._size_gauge.set(len(self))

@@ -44,6 +44,7 @@ benchmark's ``api`` section asserts it across the full
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -63,6 +64,18 @@ from repro.api.spec import (
 )
 from repro.datasets.registry import dataset_fingerprint
 from repro.graph.graph import Graph
+from repro.obs.logs import get_logger, log_event
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    current_trace,
+    record_foreign_trace,
+    recording,
+    span,
+)
 from repro.service import process_pool
 from repro.service.resilience import (
     AdmissionControl,
@@ -86,6 +99,24 @@ DEFAULT_WORKERS = 4
 
 #: Accepted ``executor`` values.
 EXECUTORS = ("thread", "process")
+
+#: The serving counters, in the order :meth:`SolveService.stats` reports
+#: them.  Each is a ``service.<name>`` counter on the service's registry.
+_COUNTER_KEYS = (
+    "requests",
+    "errors",
+    "memo_hits",
+    "store_hits",
+    "shed",
+    "expired",
+    "dispatch_timeouts",
+    "worker_crashes",
+    "pool_rebuilds",
+    "retries",
+    "group_retries",
+)
+
+_log = get_logger("service")
 
 
 class SolveService:
@@ -114,6 +145,14 @@ class SolveService:
     ``default_deadline_s`` applies to every spec that does not carry its own
     ``deadline_s``; ``retry_policy`` bounds the re-dispatch of jobs lost to
     process-pool worker crashes.
+
+    ``metrics`` selects the telemetry sink: ``None`` (default) gives the
+    service its own private :class:`~repro.obs.metrics.MetricsRegistry`
+    (so two services in one process never share counters), ``False`` wires
+    everything to the shared no-op registry (the obs-off configuration the
+    overhead benchmark measures against), and an explicit registry is used
+    as-is.  The session cache and result store report into the same
+    registry, so :meth:`metrics_snapshot` covers the whole stack.
     """
 
     def __init__(
@@ -127,6 +166,7 @@ class SolveService:
         max_queue_depth: Optional[int] = None,
         default_deadline_s: Optional[float] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        metrics: object = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -140,9 +180,21 @@ class SolveService:
             )
         self.executor = executor
         self.workers = workers
-        self.sessions = EngineSessionCache(session_capacity)
+        if metrics is None:
+            self.metrics: MetricsRegistry = MetricsRegistry()
+        elif metrics is False:
+            self.metrics = NULL_REGISTRY
+        elif isinstance(metrics, MetricsRegistry):
+            self.metrics = metrics
+        else:
+            raise TypeError(
+                f"metrics must be None, False or a MetricsRegistry, got {metrics!r}"
+            )
+        self.sessions = EngineSessionCache(session_capacity, registry=self.metrics)
         self.memoize = memoize
-        self.store = ResultStore(store_capacity if memoize else 0)
+        self.store = ResultStore(
+            store_capacity if memoize else 0, registry=self.metrics
+        )
         self.admission = AdmissionControl(workers, max_inflight, max_queue_depth)
         self.default_deadline_s = (
             float(default_deadline_s) if default_deadline_s is not None else None
@@ -170,19 +222,28 @@ class SolveService:
         self._fingerprints: Dict[object, str] = {}
         self._fingerprints_lock = threading.Lock()
         self._counters = {
-            "requests": 0,
-            "errors": 0,
-            "memo_hits": 0,
-            "store_hits": 0,
-            "shed": 0,
-            "expired": 0,
-            "dispatch_timeouts": 0,
-            "worker_crashes": 0,
-            "pool_rebuilds": 0,
-            "retries": 0,
-            "group_retries": 0,
+            key: self.metrics.counter(f"service.{key}") for key in _COUNTER_KEYS
         }
-        self._counters_lock = threading.Lock()
+        self._queue_hist = self.metrics.histogram("service.queue_wait_s")
+        self._solve_hist = self.metrics.histogram("service.solve_s")
+        self._resolve_hist = self.metrics.histogram("service.resolve_graph_s")
+        self._engine_counters = {
+            key: self.metrics.counter(f"engine.{key}")
+            for key in (
+                "solves",
+                "incremental_peels",
+                "full_peels",
+                "incremental_gain_evals",
+                "full_gain_evals",
+                "tree_patches",
+                "tree_rebuilds",
+                "follower_recomputes",
+            )
+        }
+        self._dirty_hist = self.metrics.histogram(
+            "engine.dirty_closure_edges", buckets=SIZE_BUCKETS
+        )
+        self._started_unix = time.time()
 
     def _new_process_pool(self) -> ProcessPoolExecutor:
         # Workers inherit the service's cache semantics verbatim —
@@ -221,6 +282,7 @@ class SolveService:
         (:meth:`health`, :meth:`stats`) afterwards.
         """
         self._draining = True
+        log_event(_log, "draining")
         return self.admission.wait_idle(timeout)
 
     def health(self) -> Dict[str, object]:
@@ -236,8 +298,7 @@ class SolveService:
             status = "draining"
         else:
             status = "ok"
-        with self._counters_lock:
-            counters: Dict[str, object] = dict(self._counters)
+        counters: Dict[str, object] = self._counter_values()
         with self._pool_lock:
             pool = self._process_pool
             pool_state: Optional[Dict[str, object]] = None
@@ -262,6 +323,19 @@ class SolveService:
                 "backoff": self.retry_policy.backoff,
                 "max_delay_s": self.retry_policy.max_delay_s,
             },
+            # Additive since the obs layer: probe age plus the top-line
+            # latency summary, so a bare health poll answers "how slow".
+            "uptime_s": round(time.time() - self._started_unix, 3),
+            "metrics": {
+                "requests": counters["requests"],
+                "errors": counters["errors"],
+                "shed": counters["shed"],
+                "expired": counters["expired"],
+                "solve_p50_s": self._solve_hist.quantile(0.50),
+                "solve_p95_s": self._solve_hist.quantile(0.95),
+                "solve_p99_s": self._solve_hist.quantile(0.99),
+                "queue_p95_s": self._queue_hist.quantile(0.95),
+            },
         }
 
     def __enter__(self) -> "SolveService":
@@ -272,8 +346,7 @@ class SolveService:
 
     def stats(self) -> Dict[str, object]:
         """Serving counters plus session-cache and result-store statistics."""
-        with self._counters_lock:
-            snapshot: Dict[str, object] = dict(self._counters)
+        snapshot: Dict[str, object] = self._counter_values()
         snapshot["executor"] = self.executor
         snapshot["sessions"] = self.sessions.stats()
         snapshot["result_store"] = self.store.stats()
@@ -293,8 +366,30 @@ class SolveService:
         }
 
     def _count(self, key: str) -> None:
-        with self._counters_lock:
-            self._counters[key] += 1
+        self._counters[key].inc()
+
+    def _counter_values(self) -> Dict[str, object]:
+        return {key: counter.value for key, counter in self._counters.items()}
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The full registry snapshot — the ``{"op": "metrics"}`` payload.
+
+        Everything reported into this service's registry: serving counters,
+        session-cache and result-store counters, engine re-peel counters
+        folded per solve, and the latency histograms with their
+        p50/p95/p99 estimates.  JSON-serialisable.
+        """
+        return {
+            "status": "closed" if self._closed else (
+                "draining" if self._draining else "ok"
+            ),
+            "uptime_s": round(time.time() - self._started_unix, 3),
+            **self.metrics.snapshot(),
+        }
+
+    def metrics_text(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        return self.metrics.to_prometheus_text()
 
     # ------------------------------------------------------------------
     # Submission
@@ -312,6 +407,7 @@ class SolveService:
         self._count("requests")
         self._count("errors")
         self._count("shed")
+        log_event(_log, "request_shed", level=logging.DEBUG, draining=self._draining)
         if self._draining:
             reason = "service is draining; not accepting new work"
         else:
@@ -445,28 +541,24 @@ class SolveService:
     def _execute(self, request: SolveSpec, submitted: float) -> SolveOutcome:
         started = time.perf_counter()
         self._count("requests")
+        self._queue_hist.observe(started - submitted)
         spec: Optional[SolveSpec] = None
         try:
             spec = self._as_spec(request).require_source()
-            self._check_deadline(spec, submitted)
-            if self.executor == "process":
-                # Workers own graph resolution in process mode — the
-                # coordinator never loads the graph, it only consults the
-                # store under fingerprints it already knows.
-                hit = self._process_store_lookup(spec, submitted, started)
-                if hit is not None:
-                    return hit
-                payloads = self._dispatch_with_retry(
-                    [(spec, self._expected_fingerprint(spec))],
-                    lambda: remaining_deadline(
-                        self._effective_deadline(spec), submitted
-                    ),
-                )
-                return self._finish_process_outcome(
-                    spec, payloads[0], submitted, started
-                )
-            graph, fingerprint = self._resolve_graph(spec)
-            return self._execute_in_thread(spec, graph, fingerprint, submitted, started)
+            if spec.trace_id is None:
+                return self._execute_admitted(spec, submitted, started)
+            # A traced request: record its span tree for the ring buffer.
+            # The queue wait predates the trace object, so it goes in as an
+            # externally timed span.
+            with recording(spec.trace_id) as trace:
+                trace.add_span("service.queued", submitted, started)
+                with span(
+                    "service.execute",
+                    request_id=spec.request_id,
+                    algorithm=spec.algorithm,
+                    executor=self.executor,
+                ):
+                    return self._execute_admitted(spec, submitted, started)
         except Exception as exc:  # noqa: BLE001 - serving boundary
             # The contract is "never raises for a bad request": anything a
             # hand-crafted spec can still trigger past the validation
@@ -480,9 +572,73 @@ class SolveService:
                 if isinstance(exc, ReproError)
                 else f"internal error: {type(exc).__name__}: {exc}"
             )
+            log_event(
+                _log, "request_failed", level=logging.DEBUG, kind=kind, error=message
+            )
             return self._error_outcome(
                 spec, request, message, submitted, started, kind, retryable
             )
+
+    def _execute_admitted(
+        self, spec: SolveSpec, submitted: float, started: float
+    ) -> SolveOutcome:
+        """Serve one validated spec (deadline check, dispatch, response)."""
+        self._check_deadline(spec, submitted)
+        if self.executor == "process":
+            # Workers own graph resolution in process mode — the
+            # coordinator never loads the graph, it only consults the
+            # store under fingerprints it already knows.
+            hit = self._process_store_lookup(spec, submitted, started)
+            if hit is not None:
+                return hit
+            with span("service.dispatch", executor="process"):
+                payloads = self._dispatch_with_retry(
+                    [(spec, self._expected_fingerprint(spec))],
+                    lambda: remaining_deadline(
+                        self._effective_deadline(spec), submitted
+                    ),
+                )
+            return self._finish_process_outcome(
+                spec, payloads[0], submitted, started
+            )
+        with span("service.resolve_graph", source=spec.source_label()):
+            with self._resolve_hist.time():
+                graph, fingerprint = self._resolve_graph(spec)
+        return self._execute_in_thread(spec, graph, fingerprint, submitted, started)
+
+    def _observe_engine(self, engine_stats: Dict[str, int], payload: dict) -> None:
+        """Fold one solve's engine counters into the registry.
+
+        Per-solve (not per-event) so the engine's hot loops carry no
+        registry calls at all — the scheduler reads the ``stats`` dict the
+        engine already maintains and adds it up here, outside the session
+        lock.
+        """
+        self._engine_counters["solves"].inc()
+        for key in (
+            "incremental_peels",
+            "full_peels",
+            "incremental_gain_evals",
+            "full_gain_evals",
+            "tree_patches",
+            "tree_rebuilds",
+        ):
+            amount = int(engine_stats.get(key, 0))
+            if amount:
+                self._engine_counters[key].inc(amount)
+        dirty = int(engine_stats.get("dirty_edges", 0))
+        peels = int(engine_stats.get("incremental_peels", 0))
+        if peels:
+            # One averaged observation per solve: the histogram tracks the
+            # typical dirty-closure size without per-peel bookkeeping.
+            self._dirty_hist.observe(dirty / peels)
+        extra = payload.get("extra") if isinstance(payload, dict) else None
+        if isinstance(extra, dict):
+            recomputed = extra.get("recomputed_entries_per_round")
+            if isinstance(recomputed, (list, tuple)):
+                total = sum(int(n) for n in recomputed)
+                if total:
+                    self._engine_counters["follower_recomputes"].inc(total)
 
     def _execute_in_thread(
         self,
@@ -506,6 +662,7 @@ class SolveService:
         collision = status == "bypass" and self.sessions.capacity > 0
         store_ok = memo_ok and self.store.enabled and not collision
         store_hit = False
+        engine_stats: Optional[Dict[str, int]] = None
         with session.lock:
             payload = session.memo_get(signature) if memo_ok else None
             memo_hit = payload is not None
@@ -513,7 +670,12 @@ class SolveService:
                 payload = self.store.get(self._store_key(spec, fingerprint))
                 store_hit = payload is not None
             if payload is None:
-                result = session.engine.solve_spec(spec)
+                with span("service.session_solve", session=status):
+                    result = session.engine.solve_spec(spec)
+                # Snapshot this solve's re-peel counters while the session
+                # lock still guarantees they are ours; folded into the
+                # registry after release (_observe_engine).
+                engine_stats = dict(session.engine.stats)
                 payload = result_to_json(result)
                 if memo_ok:
                     session.memo_put(signature, payload)
@@ -528,7 +690,10 @@ class SolveService:
             self._count("memo_hits")
         if store_hit:
             self._count("store_hits")
+        if engine_stats is not None:
+            self._observe_engine(engine_stats, payload)
         finished = time.perf_counter()
+        self._solve_hist.observe(finished - started)
         return SolveOutcome(
             request_id=spec.request_id,
             ok=True,
@@ -579,6 +744,7 @@ class SolveService:
             broken.shutdown(wait=False, cancel_futures=True)
             self._process_pool = self._new_process_pool()
             self._count("pool_rebuilds")
+            log_event(_log, "pool_rebuild", killed=kill)
             return self._process_pool
 
     def _dispatch_with_retry(
@@ -921,6 +1087,19 @@ class SolveService:
     ) -> SolveOutcome:
         """Wrap a worker payload; learn its fingerprint and feed the store."""
         finished = time.perf_counter()
+        self._solve_hist.observe(finished - started)
+        worker_spans = payload.pop("trace", None) if isinstance(payload, dict) else None
+        if worker_spans:
+            # The worker recorded its own spans (relative clock) and shipped
+            # them home in the payload: splice them into the live trace when
+            # this delivery thread is recording the same request, otherwise
+            # buffer them as a standalone trace (the grouped path delivers
+            # on a thread with no recording context).
+            trace = current_trace()
+            if trace is not None and trace.trace_id == spec.trace_id:
+                trace.graft(worker_spans, at=started)
+            elif spec.trace_id is not None:
+                record_foreign_trace(spec.trace_id, worker_spans)
         timings = {
             "queued_s": round(started - submitted, 6),
             "solve_s": round(finished - started, 6),

@@ -39,6 +39,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.engine import SolverEngine
 from repro.graph.graph import Graph
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.lru import DEFAULT_MEMO_LIMIT, PayloadCache
 
 __all__ = ["EngineSession", "EngineSessionCache"]
@@ -81,19 +82,25 @@ class EngineSessionCache:
     index and a baseline decomposition in memory); ``0`` disables caching —
     every request gets a fresh session, which is the benchmark's "cold"
     configuration.
+
+    Counters live on a :class:`~repro.obs.metrics.MetricsRegistry` (under
+    ``sessions.*``) — pass the owning service's registry so one metrics
+    snapshot covers the whole stack; a private registry is created
+    otherwise.  :meth:`stats` keeps its historical dict shape either way.
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(
+        self, capacity: int = 8, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
         self._sessions: "OrderedDict[Hashable, EngineSession]" = OrderedDict()
         self._lock = threading.Lock()
-        self._stats: Dict[str, int] = {
-            "hits": 0,
-            "misses": 0,
-            "evictions": 0,
-            "collisions": 0,
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._stats = {
+            key: self.metrics.counter(f"sessions.{key}")
+            for key in ("hits", "misses", "evictions", "collisions")
         }
 
     def __len__(self) -> int:
@@ -118,7 +125,7 @@ class EngineSessionCache:
     def stats(self) -> Dict[str, int]:
         """A snapshot of the hit/miss/eviction/collision counters."""
         with self._lock:
-            snapshot = dict(self._stats)
+            snapshot = {key: counter.value for key, counter in self._stats.items()}
             snapshot["size"] = len(self._sessions)
             snapshot["capacity"] = self.capacity
             return snapshot
@@ -141,15 +148,15 @@ class EngineSessionCache:
             if session is not None:
                 if session.graph is graph or session.graph == graph:
                     self._sessions.move_to_end(key)
-                    self._stats["hits"] += 1
+                    self._stats["hits"].inc()
                     return session, "hit"
                 # Same key, different graph: a fingerprint collision.  Serve
                 # correctness through a fresh uncached session (built below).
-                self._stats["collisions"] += 1
+                self._stats["collisions"].inc()
                 collided = True
             else:
                 collided = False
-                self._stats["misses"] += 1
+                self._stats["misses"].inc()
 
         # Build outside the cache lock: engine construction (index build) is
         # the expensive part and must not serialise unrelated requests.
@@ -166,10 +173,10 @@ class EngineSessionCache:
                     # serialised on one engine).
                     self._sessions.move_to_end(key)
                     return existing, "miss"
-                self._stats["collisions"] += 1
+                self._stats["collisions"].inc()
                 return session, "bypass"
             self._sessions[key] = session
             while len(self._sessions) > self.capacity:
                 self._sessions.popitem(last=False)
-                self._stats["evictions"] += 1
+                self._stats["evictions"].inc()
         return session, "miss"

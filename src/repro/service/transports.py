@@ -60,9 +60,9 @@ def serve_stream(
     Requests are submitted as soon as they parse (the pool works ahead)
     while completed responses drain in submission order.  A parse failure
     flushes everything in flight first, so its ``ok=false`` response still
-    lands in the right place.  Control lines (``{"op": "health"}``) are
-    answered in place, outside the solve-request count.  Returns the
-    number of requests seen.
+    lands in the right place.  Control lines (``{"op": "health"}``,
+    ``{"op": "metrics"}``) are answered in place, outside the solve-request
+    count.  Returns the number of requests seen.
 
     A client that vanishes mid-stream (reset, half-close, broken pipe)
     does not raise out of the loop: reading stops, writes become no-ops,
@@ -115,7 +115,12 @@ def serve_stream(
             if control is not None:
                 op, _payload = control
                 _drain(block=True)  # control responses keep input order too
-                _write(json.dumps({"op": op, **service.health()}, sort_keys=True))
+                body = (
+                    service.metrics_snapshot()
+                    if op == "metrics"
+                    else service.health()
+                )
+                _write(json.dumps({"op": op, **body}, sort_keys=True))
                 continue
             count += 1
             try:

@@ -44,6 +44,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.graph.csr import HAVE_NUMPY, CSRArrays
 from repro.graph.index import GraphIndex, peel_trussness
+from repro.obs.metrics import default_registry, now
 from repro.utils.errors import InvalidParameterError
 
 if HAVE_NUMPY:
@@ -337,7 +338,25 @@ def peel_trussness_fast(
     arguments, same ``(trussness, layer, k_max)`` result, byte-identical
     values.  Indexes built without NumPy carry no array form and always run
     the scalar kernel.
+
+    When a process-global metrics registry is armed
+    (:func:`repro.obs.metrics.set_default_registry`) each peel's wall time
+    is observed into a per-backend ``kernel.peel_s.<backend>`` histogram;
+    unarmed, the cost is one module-global read and a ``None`` check.
     """
+    registry = default_registry()
+    if registry is None:
+        return _peel_dispatch(index, anchor_eids)
+    start = now()
+    result = _peel_dispatch(index, anchor_eids)
+    backend = resolve_peel_backend() if index.csr is not None else "python"
+    registry.histogram(f"kernel.peel_s.{backend}").observe(now() - start)
+    return result
+
+
+def _peel_dispatch(
+    index: GraphIndex, anchor_eids: Sequence[int] = ()
+) -> Tuple[List[int], List[int], int]:
     csr = index.csr
     if csr is None:
         return peel_trussness(index, anchor_eids)

@@ -1,11 +1,18 @@
-"""Lightweight wall-clock timing utilities used by the experiment harness."""
+"""Lightweight wall-clock timing utilities used by the experiment harness.
+
+Both helpers read :data:`repro.obs.metrics.now` — the same
+``perf_counter`` clock every metrics histogram and trace span uses — so
+offline experiment tables and live serving metrics share one definition
+of elapsed time.
+"""
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
+
+from repro.obs.metrics import now as _now
 
 T = TypeVar("T")
 
@@ -24,12 +31,12 @@ class Timer:
     def start(self) -> None:
         if self._started_at is not None:
             raise RuntimeError("timer is already running")
-        self._started_at = time.perf_counter()
+        self._started_at = _now()
 
     def stop(self) -> float:
         if self._started_at is None:
             raise RuntimeError("timer is not running")
-        delta = time.perf_counter() - self._started_at
+        delta = _now() - self._started_at
         self.elapsed += delta
         self._started_at = None
         return delta
@@ -50,6 +57,6 @@ class Timer:
 
 def timed(func: Callable[[], T]) -> tuple[T, float]:
     """Run ``func`` and return ``(result, elapsed_seconds)``."""
-    start = time.perf_counter()
+    start = _now()
     result = func()
-    return result, time.perf_counter() - start
+    return result, _now() - start

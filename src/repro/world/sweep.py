@@ -11,16 +11,22 @@ tree-maintenance counters.  Rows are plain dicts with the fixed
 
 Randomized baselines (``rand``/``sup``/``tur``) are pinned to a fixed seed,
 so the whole sweep is a deterministic function of the sampled points.
+
+Latency is measured on :data:`repro.obs.metrics.now` — the same clock the
+serving metrics use — and every per-solve elapsed time is additionally
+observed into a ``world.sweep_solve_s`` histogram on the provided registry
+(or the armed process-global default), so offline sweep tables and live
+metrics share one definition of latency.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.spec import SolveSpec
 from repro.core.engine import SolverEngine, available_solvers, get_solver
 from repro.experiments.reporting import format_csv
+from repro.obs.metrics import MetricsRegistry, default_registry, now
 from repro.world.axes import WorldPoint
 
 __all__ = ["SWEEP_FIELDS", "run_sweep", "summarize_sweep", "sweep_rows_to_csv"]
@@ -78,6 +84,7 @@ def run_sweep(
     solvers: Optional[Sequence[str]] = None,
     budget: int = 2,
     progress: Optional[Callable[[str], None]] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[Dict[str, object]]:
     """One row per ``(point, solver)``: quality, latency and engine stats.
 
@@ -85,10 +92,15 @@ def run_sweep(
     (:func:`~repro.core.engine.available_solvers`); unknown names fail
     loudly through :func:`~repro.core.engine.get_solver`.  Points whose
     graph has fewer than two edges are skipped (reported via ``progress``).
+    ``registry`` (or the armed process-global default) additionally
+    receives every per-solve latency in a ``world.sweep_solve_s``
+    histogram; rows are unchanged either way.
     """
     names = list(solvers) if solvers is not None else available_solvers()
     for name in names:
         get_solver(name)
+    reg = registry if registry is not None else default_registry()
+    sweep_hist = reg.histogram("world.sweep_solve_s") if reg is not None else None
     rows: List[Dict[str, object]] = []
     for point in points:
         graph = point.build_graph()
@@ -105,9 +117,11 @@ def run_sweep(
                 budget=_solver_budget(name, budget, graph.num_edges),
                 params=params,
             )
-            start = time.perf_counter()
+            start = now()
             result = engine.solve_spec(spec)
-            elapsed = time.perf_counter() - start
+            elapsed = now() - start
+            if sweep_hist is not None:
+                sweep_hist.observe(elapsed)
             row: Dict[str, object] = {
                 "point": point.spec(),
                 "family": point.family,
