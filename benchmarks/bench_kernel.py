@@ -61,18 +61,26 @@ Two generations of the same harness write into ``BENCH_kernel.json``:
   on the same workload (target: <= 3% overhead), canonical-result byte
   identity between an obs-off service and a fully armed one (process-global
   registry + per-request trace), and the content of a live metrics scrape
-  and a completed trace.
+  and a completed trace;
+* the **``cluster`` section** (PR 10) measures the sharded serving tier
+  (:mod:`repro.cluster`): routed-vs-direct canonical byte identity for
+  every registered solver over thread and process backends, 3-backend vs
+  1-backend routed throughput with the cluster-wide warm-shard session
+  hit rate (merged ``sessions.*`` counters), mid-batch backend-kill
+  failover with survivors byte-identical, the router-tier result store
+  answering repeats, and the re-attempted process-vs-thread row gated on
+  ``os.cpu_count() >= 2`` (``cpu_count`` recorded either way).
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--full] [--smoke]
         [--engine-only] [--engine-v2-only] [--service-only] [--api-only]
         [--resilience-only] [--kernel-v2-only] [--world-only] [--obs-only]
-        [--force] [--output PATH]
+        [--cluster-only] [--force] [--output PATH]
 
 ``--engine-only`` / ``--engine-v2-only`` / ``--service-only`` /
 ``--api-only`` / ``--resilience-only`` / ``--kernel-v2-only`` /
-``--world-only`` / ``--obs-only`` recompute
+``--world-only`` / ``--obs-only`` / ``--cluster-only`` recompute
 just that section and
 merge it into the existing output file.  Sections already present in the
 output are **never overwritten** unless ``--force`` is given (the ROADMAP's
@@ -1580,6 +1588,402 @@ def merge_obs_summary(report: Dict[str, object]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Cluster section (PR 10): sharded multi-backend serving
+# ---------------------------------------------------------------------------
+def _cluster_graphs(count: int, size: Tuple[int, int], seed: int = 0):
+    """``count`` distinct small community graphs (distinct fingerprints, so
+    the ring genuinely shards them) as inline edge tuples."""
+    from repro.graph.generators import community_graph
+
+    graphs = {}
+    for index in range(count):
+        graph = community_graph(
+            [size[0], size[1]], p_in=0.7, p_out=0.05, seed=seed + index
+        )
+        graphs[f"g{index}"] = tuple(tuple(edge) for edge in graph.edges())
+    return graphs
+
+
+def _make_cluster(backends: int, workers: int, session_capacity: int,
+                  memoize: bool):
+    """A router over ``backends`` in-process thread-executor backends."""
+    from repro.cluster import BackendPool, InProcessBackend, RouterService
+
+    pool = BackendPool(probe_interval_s=30.0)
+    for index in range(backends):
+        pool.add_managed(
+            f"b{index}",
+            InProcessBackend(
+                workers=workers,
+                session_capacity=session_capacity,
+                memoize=memoize,
+            ),
+        )
+    router = RouterService(pool, workers=max(4, backends * 2), memoize=memoize)
+    return pool, router
+
+
+def bench_cluster_identity(budget: int) -> Dict[str, object]:
+    """Routed vs direct canonical byte identity, all solvers, both executors.
+
+    Every registered solver's spec (randomized ones seeded) is served
+    directly by a single ``SolveService`` and through a 2-backend routed
+    cluster — once with thread backends, once with process backends — and
+    every routed outcome must be byte-identical (``canonical_result``).
+    """
+    from repro.api import SolveSpec, canonical_result
+    from repro.cluster import BackendPool, InProcessBackend, RouterService
+    from repro.core.engine import available_solvers, solver_table
+    from repro.graph.generators import community_graph
+    from repro.service import SolveService
+
+    graph = community_graph([12, 10], p_in=0.7, p_out=0.05, seed=41)
+    edges = tuple(tuple(edge) for edge in graph.edges())
+    table = solver_table()
+    specs = [
+        SolveSpec(
+            request_id=f"identity-{name}",
+            edges=edges,
+            algorithm=name,
+            budget=budget,
+            params={"seed": 7} if table[name].randomized else {},
+        )
+        for name in available_solvers()
+    ]
+    with SolveService(workers=1) as direct:
+        reference = {
+            spec.request_id: json.dumps(
+                canonical_result(direct.solve(spec).result), sort_keys=True
+            )
+            for spec in specs
+        }
+    identical = True
+    for executor in ("thread", "process"):
+        pool = BackendPool(probe_interval_s=30.0)
+        for index in range(2):
+            pool.add_managed(
+                f"{executor}-{index}",
+                InProcessBackend(
+                    workers=1, executor=executor, session_capacity=4
+                ),
+            )
+        router = RouterService(pool, workers=2)
+        try:
+            for spec, outcome in zip(specs, router.solve_many(specs)):
+                if not outcome.ok or json.dumps(
+                    canonical_result(outcome.result), sort_keys=True
+                ) != reference[spec.request_id]:  # pragma: no cover
+                    identical = False
+        finally:
+            router.close()
+            pool.close()
+    return {
+        "solvers": sorted(available_solvers()),
+        "executors": ["thread", "process"],
+        "budget": budget,
+        "identical": identical,
+    }
+
+
+def bench_cluster_throughput(
+    graph_count: int, repeats: int, budget: int, size: Tuple[int, int]
+) -> Dict[str, object]:
+    """3-backend vs 1-backend routed throughput + warm-shard hit rate.
+
+    The same workload — ``graph_count`` distinct graphs × ``repeats``
+    rounds, distinct request ids, memoisation off so every request truly
+    solves — routed through a 1-backend and a 3-backend cluster.  Repeat
+    rounds land on the shard whose session is already warm; the
+    cluster-wide ``sessions.hits`` / ``sessions.misses`` counters (merged
+    across backends) give the warm-shard hit rate.  On a 1-CPU container
+    the throughput ratio measures routing overhead, not parallelism —
+    ``cpu_count`` is recorded so the number stays interpretable.
+    """
+    import os
+
+    from repro.api import SolveSpec
+
+    graphs = _cluster_graphs(graph_count, size)
+    def _wave(tag: str):
+        return [
+            SolveSpec(
+                request_id=f"{tag}-r{round_index}-{name}",
+                edges=edges,
+                algorithm="gas",
+                budget=budget,
+            )
+            for round_index in range(repeats)
+            for name, edges in graphs.items()
+        ]
+
+    results: Dict[str, object] = {}
+    for label, backends in (("one_backend", 1), ("three_backend", 3)):
+        pool, router = _make_cluster(
+            backends, workers=2, session_capacity=graph_count, memoize=False
+        )
+        try:
+            specs = _wave(label)
+            start = time.perf_counter()
+            outcomes = router.solve_many(specs)
+            elapsed = time.perf_counter() - start
+            assert all(outcome.ok for outcome in outcomes)
+            merged = router.metrics_snapshot()
+            hits = merged["counters"].get("sessions.hits", 0)
+            misses = merged["counters"].get("sessions.misses", 0)
+            results[label] = {
+                "elapsed_s": round(elapsed, 4),
+                "requests": len(specs),
+                "req_per_s": round(len(specs) / elapsed, 2),
+                "session_hits": hits,
+                "session_misses": misses,
+                "warm_hit_rate": round(hits / (hits + misses), 4)
+                if hits + misses
+                else 0.0,
+            }
+        finally:
+            router.close()
+            pool.close()
+    one = results["one_backend"]
+    three = results["three_backend"]
+    return {
+        "graphs": graph_count,
+        "repeats": repeats,
+        "budget": budget,
+        "cpu_count": os.cpu_count(),
+        **results,
+        "three_vs_one": round(one["elapsed_s"] / three["elapsed_s"], 2),
+    }
+
+
+def bench_cluster_failover(budget: int, size: Tuple[int, int]) -> Dict[str, object]:
+    """Kill one backend mid-batch; survivors must stay byte-identical.
+
+    A first wave routes across 3 backends, the owner of one graph is
+    killed, and a second wave re-runs everything: requests owned by live
+    backends are untouched, the victim's requests fail over to the ring
+    successor, and *every* outcome matches a direct solve canonically.
+    """
+    from repro.api import SolveSpec, canonical_result
+    from repro.service import SolveService
+
+    graphs = _cluster_graphs(6, size, seed=100)
+    pool, router = _make_cluster(3, workers=2, session_capacity=8, memoize=True)
+    try:
+        owners = {
+            name: router.ring.owner(
+                router.fingerprint_of(
+                    SolveSpec(edges=edges, algorithm="gas", budget=budget)
+                )
+            )
+            for name, edges in graphs.items()
+        }
+        victim = owners["g0"]
+        first = router.solve_many(
+            [
+                SolveSpec(
+                    request_id=f"pre-{name}", edges=edges, algorithm="gas",
+                    budget=budget,
+                )
+                for name, edges in graphs.items()
+            ]
+        )
+        assert all(outcome.ok for outcome in first)
+        pool.kill(victim)
+        second_specs = [
+            SolveSpec(
+                request_id=f"post-{name}", edges=edges, algorithm="gas",
+                budget=budget + 1,
+            )
+            for name, edges in graphs.items()
+        ]
+        second = router.solve_many(second_specs)
+        identical = True
+        with SolveService(workers=2) as direct:
+            for spec, outcome in zip(second_specs, second):
+                if not outcome.ok or canonical_result(
+                    outcome.result
+                ) != canonical_result(direct.solve(spec).result):
+                    identical = False  # pragma: no cover
+        counters = router.stats()["counters"]
+        return {
+            "backends": 3,
+            "killed": victim,
+            "graphs": len(graphs),
+            "victim_shard_graphs": sum(
+                1 for owner in owners.values() if owner == victim
+            ),
+            "survivors_identical": identical,
+            "reroutes": counters["reroutes"],
+            "backend_failures": counters["backend_failures"],
+        }
+    finally:
+        router.close()
+        pool.close()
+
+
+def bench_cluster_store(budget: int, size: Tuple[int, int]) -> Dict[str, object]:
+    """A repeated deterministic request is answered at the router tier."""
+    from repro.api import SolveSpec, canonical_result
+
+    graphs = _cluster_graphs(1, size, seed=200)
+    pool, router = _make_cluster(3, workers=2, session_capacity=4, memoize=True)
+    try:
+        spec = SolveSpec(
+            request_id="store-1",
+            edges=graphs["g0"],
+            algorithm="gas",
+            budget=budget,
+        )
+        first = router.solve(spec)
+        second = router.solve(spec)
+        hit = bool(second.cache.get("router_store"))
+        identical = first.ok and second.ok and canonical_result(
+            first.result
+        ) == canonical_result(second.result)
+        return {
+            "repeat_hit": hit,
+            "identical": identical,
+            "store_hits": router.stats()["counters"]["store_hits"],
+        }
+    finally:
+        router.close()
+        pool.close()
+
+
+def bench_cluster_process_retry(
+    workload_graphs: Dict[str, Graph], budget: int, workers: int
+) -> Dict[str, object]:
+    """Re-attempt the PR 5 process-vs-thread row, gated on real cores.
+
+    The api section recorded 0.42x on a 1-CPU container (target >= 1.8x:
+    the process pool needs cores to beat the GIL).  The row now runs only
+    when ``os.cpu_count() >= 2`` and records ``cpu_count`` either way, so
+    the trajectory stays honest on any box.
+    """
+    import os
+
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2:
+        return {
+            "attempted": False,
+            "cpu_count": cpu_count,
+            "target": 1.8,
+            "reason": "process-pool parallelism needs >= 2 CPUs; "
+            "skipped honestly on this container",
+        }
+    row = bench_api_executors(workload_graphs, budget, workers)
+    row["attempted"] = True
+    row["target"] = 1.8
+    row["meets_target"] = row["speedup"] >= 1.8
+    return row
+
+
+def run_cluster_section(
+    graph_count: int,
+    repeats: int,
+    budget: int,
+    size: Tuple[int, int],
+    executor_graphs: Dict[str, Graph],
+    executor_budget: int,
+    api_workers: int,
+) -> Dict[str, object]:
+    """The PR 10 section: sharded multi-backend serving.
+
+    Five rows: (1) routed-vs-direct canonical byte identity for every
+    registered solver on thread and process backends; (2) 3-backend vs
+    1-backend routed throughput with the cluster-wide warm-shard session
+    hit rate; (3) backend-kill failover with survivors byte-identical;
+    (4) the router-tier result store answering a repeat; (5) the
+    re-attempted process-vs-thread row, gated on ``os.cpu_count() >= 2``.
+    """
+    section: Dict[str, object] = {
+        "description": "cluster tier (PR 10): consistent-hash routed "
+        "serving over supervised SolveService backends — routed-vs-direct "
+        "byte identity, 3-vs-1 backend throughput with warm-shard session "
+        "hit rate, mid-batch failover, router-tier store repeats, and the "
+        "re-attempted (CPU-gated) process-vs-thread row",
+    }
+
+    print("== cluster: routed vs direct byte identity ==")
+    section["identity"] = bench_cluster_identity(budget)
+    print(
+        f"  identical: {section['identity']['identical']} "
+        f"({len(section['identity']['solvers'])} solvers x "
+        f"{section['identity']['executors']})"
+    )
+
+    print("== cluster: 3-backend vs 1-backend routed throughput ==")
+    section["throughput"] = bench_cluster_throughput(
+        graph_count, repeats, budget, size
+    )
+    throughput = section["throughput"]
+    print(
+        f"  1 backend {throughput['one_backend']['req_per_s']} req/s, "
+        f"3 backends {throughput['three_backend']['req_per_s']} req/s "
+        f"({throughput['three_vs_one']}x, cpu_count="
+        f"{throughput['cpu_count']}); warm-shard hit rate "
+        f"{throughput['three_backend']['warm_hit_rate']}"
+    )
+
+    print("== cluster: mid-batch backend-kill failover ==")
+    section["failover"] = bench_cluster_failover(budget, size)
+    print(
+        f"  survivors identical: {section['failover']['survivors_identical']} "
+        f"(killed {section['failover']['killed']}, "
+        f"{section['failover']['reroutes']} reroute(s))"
+    )
+
+    print("== cluster: router-tier store repeat ==")
+    section["store"] = bench_cluster_store(budget, size)
+    print(
+        f"  repeat hit: {section['store']['repeat_hit']} "
+        f"(identical: {section['store']['identical']})"
+    )
+
+    print("== cluster: process-vs-thread retry (CPU-gated) ==")
+    section["process_vs_thread_retry"] = bench_cluster_process_retry(
+        executor_graphs, executor_budget, api_workers
+    )
+    retry = section["process_vs_thread_retry"]
+    if retry["attempted"]:
+        print(
+            f"  speedup {retry['speedup']}x on {retry['cpu_count']} CPU(s) "
+            f"(target >= 1.8x)"
+        )
+    else:
+        print(f"  skipped: cpu_count={retry['cpu_count']} ({retry['reason']})")
+
+    section["summary"] = {
+        "identity": section["identity"]["identical"],
+        "failover_identical": section["failover"]["survivors_identical"],
+        "store_repeat_hit": section["store"]["repeat_hit"],
+        "warm_session_hit_rate": throughput["three_backend"]["warm_hit_rate"],
+        "three_vs_one_throughput": throughput["three_vs_one"],
+        "cpu_count": throughput["cpu_count"],
+        "process_retry_attempted": retry["attempted"],
+        "process_retry_speedup": retry.get("speedup"),
+    }
+    return section
+
+
+def merge_cluster_summary(report: Dict[str, object]) -> None:
+    """Propagate the cluster summary into the top-level summary."""
+    cluster = report["cluster"]["summary"]
+    summary = report.setdefault("summary", {})
+    summary["cluster_identity"] = cluster["identity"]
+    summary["cluster_failover_identical"] = cluster["failover_identical"]
+    summary["cluster_store_repeat_hit"] = cluster["store_repeat_hit"]
+    summary["cluster_warm_session_hit_rate"] = cluster["warm_session_hit_rate"]
+    summary["cluster_three_vs_one_throughput"] = cluster[
+        "three_vs_one_throughput"
+    ]
+    summary["cluster_cpu_count"] = cluster["cpu_count"]
+    summary["cluster_process_retry_attempted"] = cluster[
+        "process_retry_attempted"
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Append-only output handling (the ROADMAP trajectory rule)
 # ---------------------------------------------------------------------------
 class SectionExistsError(RuntimeError):
@@ -1699,6 +2103,14 @@ def main(argv: List[str] | None = None) -> int:
         "metrics/trace exposition) and append it to the existing output file",
     )
     parser.add_argument(
+        "--cluster-only",
+        action="store_true",
+        help="recompute only the 'cluster' section (PR 10: routed-vs-direct "
+        "byte identity, 3-vs-1 backend throughput with warm-shard session "
+        "hit rate, mid-batch failover, router-tier store repeats, CPU-gated "
+        "process-vs-thread retry) and append it to the existing output file",
+    )
+    parser.add_argument(
         "--api-workers", type=int, default=4,
         help="worker count for the api section's thread-vs-process comparison",
     )
@@ -1778,6 +2190,8 @@ def main(argv: List[str] | None = None) -> int:
         kernel_v2_gas_repeats = 2
         world_points, world_budget, world_n = 6, 1, (30, 60)
         obs_batches, obs_per_batch, obs_budget = 3, 4, 1
+        cluster_graphs, cluster_repeats, cluster_budget = 3, 2, 1
+        cluster_size = (10, 8)
     else:
         decomposition_datasets = ["patents", "pokec"] if args.full else ["patents"]
         follower_datasets = ["college", "facebook"]
@@ -1824,6 +2238,11 @@ def main(argv: List[str] | None = None) -> int:
         kernel_v2_gas_repeats = 5
         world_points, world_budget, world_n = 18, 2, (60, 120)
         obs_batches, obs_per_batch, obs_budget = 6, 20, 2
+        # The cluster section measures routing/sharding behaviour, not
+        # kernel scale: many distinct small graphs (distinct fingerprints)
+        # with repeat rounds is exactly the warm-shard workload.
+        cluster_graphs, cluster_repeats, cluster_budget = 6, 4, 1
+        cluster_size = (14, 12)
 
     try:
         if args.engine_only:
@@ -1948,6 +2367,24 @@ def main(argv: List[str] | None = None) -> int:
             print(f"\nwrote {args.output} (obs section only)")
             print(json.dumps(report["obs"]["summary"], indent=2))
             return 0
+
+        if args.cluster_only:
+            report = {
+                "cluster": run_cluster_section(
+                    cluster_graphs,
+                    cluster_repeats,
+                    cluster_budget,
+                    cluster_size,
+                    api_executor_graphs,
+                    api_executor_budget,
+                    args.api_workers,
+                )
+            }
+            merge_cluster_summary(report)
+            report = write_report(args.output, report, args.force)
+            print(f"\nwrote {args.output} (cluster section only)")
+            print(json.dumps(report["cluster"]["summary"], indent=2))
+            return 0
     except SectionExistsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -2036,6 +2473,15 @@ def main(argv: List[str] | None = None) -> int:
         obs_per_batch,
         obs_budget,
     )
+    report["cluster"] = run_cluster_section(
+        cluster_graphs,
+        cluster_repeats,
+        cluster_budget,
+        cluster_size,
+        api_executor_graphs,
+        api_executor_budget,
+        args.api_workers,
+    )
 
     decomposition_speedup = min(
         entry["anchored_sequence"]["speedup"] for entry in report["decomposition"].values()
@@ -2060,6 +2506,7 @@ def main(argv: List[str] | None = None) -> int:
     merge_kernel_v2_summary(report)
     merge_world_summary(report)
     merge_obs_summary(report)
+    merge_cluster_summary(report)
 
     try:
         report = write_report(args.output, report, args.force)

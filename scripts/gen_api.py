@@ -27,6 +27,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.api import resolve as api_resolve  # noqa: E402
 from repro.api import session as api_session  # noqa: E402
 from repro.api import spec as api_spec  # noqa: E402
+from repro.cluster import backends as cluster_backends  # noqa: E402
+from repro.cluster import ring as cluster_ring  # noqa: E402
+from repro.cluster import router as cluster_router  # noqa: E402
+from repro.cluster import telemetry as cluster_telemetry  # noqa: E402
 from repro.core import component_tree, engine, result, reuse  # noqa: E402
 from repro.datasets import registry as datasets_registry  # noqa: E402
 from repro.datasets import snap as datasets_snap  # noqa: E402
@@ -89,6 +93,11 @@ API_SURFACE = [
     ),
     (
         "Serving layer (`repro.service`)",
+        None,
+        [],
+    ),
+    (
+        "Cluster layer (`repro.cluster`)",
         None,
         [],
     ),
@@ -190,6 +199,23 @@ SERVICE_SURFACE = [
     ),
 ]
 
+#: The cluster layer: consistent-hash ring, backend supervision, router,
+#: cross-backend telemetry merging.
+CLUSTER_SURFACE = [
+    (cluster_ring, ["HashRing"]),
+    (
+        cluster_backends,
+        ["Backend", "BackendPool", "InProcessBackend", "SubprocessBackend",
+         "probe_health"],
+    ),
+    (cluster_router, ["RouterService"]),
+    (
+        cluster_telemetry,
+        ["merge_metrics_snapshots", "merge_histogram_snapshots",
+         "quantile_from_snapshot"],
+    ),
+]
+
 #: The observability layer: metrics registry, tracing, structured logs.
 OBS_SURFACE = [
     (
@@ -249,6 +275,7 @@ DATASETS_SURFACE = [
 COMPOSITE_SECTIONS = {
     "Public API (`repro.api`)": API_MODULE_SURFACE,
     "Serving layer (`repro.service`)": SERVICE_SURFACE,
+    "Cluster layer (`repro.cluster`)": CLUSTER_SURFACE,
     "Observability (`repro.obs`)": OBS_SURFACE,
     "Datasets and the SNAP pipeline (`repro.datasets`)": DATASETS_SURFACE,
     "Graph kernel (`repro.graph`)": GRAPH_SURFACE,
@@ -347,6 +374,42 @@ METHOD_ALLOWLIST = {
     "ResultStore": ["get", "put", "stats"],
     "StdioTransport": ["serve"],
     "TcpTransport": ["serve", "start", "close"],
+    "HashRing": [
+        "add",
+        "remove",
+        "owner",
+        "successors",
+        "ownership",
+        "spread",
+    ],
+    "Backend": ["describe"],
+    "BackendPool": [
+        "add_managed",
+        "attach",
+        "ids",
+        "address_of",
+        "is_up",
+        "report_failure",
+        "kill",
+        "probe_once",
+        "start",
+        "snapshot",
+        "close",
+    ],
+    "InProcessBackend": ["start", "kill", "alive"],
+    "SubprocessBackend": ["start", "kill", "alive"],
+    "RouterService": [
+        "solve",
+        "solve_many",
+        "submit",
+        "submit_sequence",
+        "fingerprint_of",
+        "metrics_snapshot",
+        "health",
+        "stats",
+        "drain",
+        "close",
+    ],
     "WorldPoint": [
         "param",
         "build_graph",

@@ -19,6 +19,15 @@ Sub-commands
 ``batch``
     Run a JSON-lines request *file* through the service (grouped by graph
     for warm-session reuse) and write a JSON-lines response file.
+``cluster``
+    Serve the same line protocol from a *sharded* fleet: spawn
+    ``--backends N`` local ``SolveService`` TCP backends as subprocesses
+    (or ``--attach host:port,…`` to running ones) behind a front-end
+    :class:`repro.cluster.RouterService` that consistent-hashes each
+    request's graph fingerprint onto the owning backend, fails over to
+    the ring successor on crashes, and aggregates cluster-wide
+    ``metrics``/``health`` on the usual control ops — so ``obs`` works
+    unchanged against the router port.
 ``world``
     Sample parameterised synthetic "world points" (generator family ×
     density/clustering/skew axes, see :mod:`repro.world`), sweep every
@@ -194,6 +203,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _service_args(batch)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="serve a sharded multi-backend cluster behind a "
+        "fingerprint-hash router (same line protocol, one TCP port)",
+    )
+    # The service knobs thread through to every spawned backend; --no-memo
+    # and --store-capacity additionally size the router-tier result store.
+    _service_args(cluster)
+    cluster.add_argument(
+        "--backends",
+        type=int,
+        default=3,
+        help="local SolveService TCP backends to spawn as subprocesses "
+        "(ignored with --attach)",
+    )
+    cluster.add_argument(
+        "--attach",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="comma-separated running backends to attach to instead of "
+        "spawning local ones (supervised but never spawned/respawned)",
+    )
+    cluster.add_argument(
+        "--replicas",
+        type=int,
+        default=64,
+        help="virtual nodes per backend on the consistent-hash ring",
+    )
+    cluster.add_argument("--host", default="127.0.0.1", help="router bind host")
+    cluster.add_argument(
+        "--port", type=int, default=0, help="router bind port (0 = ephemeral)"
+    )
+    cluster.add_argument(
+        "--router-workers",
+        type=int,
+        default=8,
+        help="concurrent routing threads in the front end",
+    )
+    cluster.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        help="seconds between backend health probes (mark-down/respawn cycle)",
+    )
+
     world = sub.add_parser(
         "world",
         help="sweep solvers across sampled synthetic regimes and fuzz the "
@@ -335,6 +389,22 @@ def _run_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _announce_listening(address) -> None:
+    """Announce a bound TCP endpoint: one machine-readable JSON line on
+    stdout (what the cluster's backend spawner and scripts parse to learn
+    an ephemeral ``--port 0``) plus the human line on stderr (what the CI
+    smoke jobs grep).  TCP serving never writes protocol data to stdout,
+    so the JSON line is unambiguous there."""
+    print(
+        json.dumps(
+            {"listening": {"host": address[0], "port": address[1]}},
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+    print(f"listening on {address[0]}:{address[1]}", file=sys.stderr, flush=True)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` loop behind a pluggable transport."""
     import signal
@@ -375,14 +445,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                 signal.signal(signal.SIGTERM, _graceful_drain)
             except ValueError:  # pragma: no cover - non-main-thread embedding
                 pass
-            count = transport.serve(
-                service,
-                ready=lambda address: print(
-                    f"listening on {address[0]}:{address[1]}",
-                    file=sys.stderr,
-                    flush=True,
-                ),
-            )
+            count = transport.serve(service, ready=_announce_listening)
         else:
             count = StdioTransport().serve(service)
         if armed_handler is not None:
@@ -414,6 +477,99 @@ def _run_batch(args: argparse.Namespace) -> int:
         f"store hits: {store['hits']}"
     )
     return 0 if summary["errors"] == 0 else 1
+
+
+def _backend_serve_args(args: argparse.Namespace) -> List[str]:
+    """The service knobs, re-encoded as ``serve`` flags for spawned backends."""
+    serve_args = [
+        "--workers", str(args.workers),
+        "--executor", args.executor,
+        "--session-cache", str(args.session_cache),
+        "--store-capacity", str(args.store_capacity),
+    ]
+    if args.no_memo:
+        serve_args.append("--no-memo")
+    if args.max_inflight is not None:
+        serve_args += ["--max-inflight", str(args.max_inflight)]
+    if args.max_queue is not None:
+        serve_args += ["--max-queue", str(args.max_queue)]
+    if args.deadline_default is not None:
+        serve_args += ["--deadline-default", str(args.deadline_default)]
+    return serve_args
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    """The ``cluster`` command: a router-fronted fleet on one TCP port."""
+    import signal
+    import threading
+
+    from repro.cluster import BackendPool, RouterService, SubprocessBackend
+    from repro.service import TcpTransport
+
+    pool = BackendPool(probe_interval_s=args.probe_interval)
+    router = None
+    try:
+        if args.attach:
+            for index, endpoint in enumerate(args.attach.split(",")):
+                host, _, port = endpoint.strip().rpartition(":")
+                if not host or not port.isdigit():
+                    print(
+                        f"error: --attach endpoint {endpoint!r} is not host:port",
+                        file=sys.stderr,
+                    )
+                    return 2
+                pool.attach(f"attached-{index}", host, int(port))
+        else:
+            serve_args = _backend_serve_args(args)
+            for index in range(args.backends):
+                pool.add_managed(
+                    f"backend-{index}", SubprocessBackend(serve_args=serve_args)
+                )
+        pool.start()
+        router = RouterService(
+            pool,
+            replicas=args.replicas,
+            workers=args.router_workers,
+            memoize=not args.no_memo,
+            store_capacity=args.store_capacity,
+        )
+        # Machine-readable fleet roster (ids, addresses, pids) so smoke
+        # jobs can target a specific backend — e.g. kill one mid-stream.
+        print(
+            json.dumps(
+                {
+                    "cluster": {
+                        "backends": [
+                            pool.get(backend_id).describe()
+                            for backend_id in pool.ids()
+                        ]
+                    }
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        transport = TcpTransport(host=args.host, port=args.port)
+
+        def _graceful_drain(signum, _frame):  # pragma: no cover - signals
+            def _drain() -> None:
+                print("draining (signal received)...", file=sys.stderr, flush=True)
+                router.drain(timeout=30.0)
+                transport.close(drain=True, timeout=30.0)
+
+            threading.Thread(target=_drain, daemon=True).start()
+
+        try:
+            signal.signal(signal.SIGTERM, _graceful_drain)
+        except ValueError:  # pragma: no cover - non-main-thread embedding
+            pass
+        count = transport.serve(router, ready=_announce_listening)
+        print(f"served {count} request(s); {router.stats()}", file=sys.stderr)
+    finally:
+        if router is not None:
+            router.close()
+        pool.close()
+    return 0
 
 
 def _run_obs(args: argparse.Namespace) -> int:
@@ -529,6 +685,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "batch":
         return _run_batch(args)
+
+    if args.command == "cluster":
+        return _run_cluster(args)
 
     if args.command == "world":
         return _run_world(args)

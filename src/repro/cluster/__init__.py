@@ -1,0 +1,43 @@
+"""Sharded multi-backend serving: the cluster tier (PR 10).
+
+From one process to a fleet: a deterministic consistent-hash ring keyed
+by graph fingerprint (:mod:`repro.cluster.ring`) shards requests so
+session warmth survives routing, a supervised backend pool
+(:mod:`repro.cluster.backends`) launches, probes and respawns local
+``SolveService`` TCP backends (or attaches to remote ones), and a
+front-end :class:`~repro.cluster.router.RouterService`
+(:mod:`repro.cluster.router`) speaks the existing service interface so
+every transport, the batching layer and the ``obs`` CLI work unchanged
+against a cluster.  :mod:`repro.cluster.telemetry` merges per-backend
+metrics snapshots into the cluster-wide views served on the same
+control-line ops.
+"""
+
+from repro.cluster.backends import (
+    Backend,
+    BackendPool,
+    InProcessBackend,
+    SubprocessBackend,
+    probe_health,
+)
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.cluster.router import RouterService
+from repro.cluster.telemetry import (
+    merge_histogram_snapshots,
+    merge_metrics_snapshots,
+    quantile_from_snapshot,
+)
+
+__all__ = [
+    "Backend",
+    "BackendPool",
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "InProcessBackend",
+    "RouterService",
+    "SubprocessBackend",
+    "merge_histogram_snapshots",
+    "merge_metrics_snapshots",
+    "probe_health",
+    "quantile_from_snapshot",
+]

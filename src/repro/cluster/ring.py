@@ -1,0 +1,146 @@
+"""Deterministic consistent-hash ring over backend ids.
+
+Sharding for the cluster tier (PR 10) has one hard requirement inherited
+from the engine: *session warmth must survive routing*.  The incremental
+re-peeling speedup only exists when repeat requests for a graph land on
+the backend whose :class:`~repro.service.session_cache.EngineSessionCache`
+already holds that graph's warm engine.  A consistent-hash ring keyed by
+``graph_fingerprint`` gives exactly that — the same fingerprint always
+resolves to the same backend, and membership changes only remap the keys
+that were owned by the departed (or newly arrived) backend, so the rest
+of the fleet keeps its warm shards.
+
+The ring is pure computation: SHA-256 over ``"{backend_id}#{replica}"``
+strings placed on a 64-bit circle, key lookup by binary search.  No I/O,
+no randomness, no wall clock — two rings built from the same membership
+are bit-identical, which is what makes the router's failover order
+(:meth:`HashRing.successors`) reproducible in tests and across restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per backend.  64 keeps the max/min ownership spread under
+#: ~2x for small fleets while the ring stays tiny (64 * N points).
+DEFAULT_REPLICAS = 64
+
+_POINT_MASK = (1 << 64) - 1
+
+
+def _hash64(data: str) -> int:
+    """First 8 bytes of SHA-256, as an unsigned 64-bit ring position."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & _POINT_MASK
+
+
+class HashRing:
+    """Consistent-hash ring mapping fingerprints to backend ids.
+
+    ``replicas`` virtual nodes are placed per backend; ``owner(key)`` is
+    the backend whose virtual node is the first at-or-after the key's hash
+    (wrapping), and ``successors(key)`` walks onward collecting each
+    *distinct* backend in ring order — the deterministic failover chain
+    the router uses when the owner is down or returns a retryable fault.
+
+    Membership edits (:meth:`add` / :meth:`remove`) are cheap and minimal:
+    removing a backend only remaps keys it owned (they fall through to
+    their next successor); re-adding it restores the original mapping
+    exactly, because positions depend only on ``(backend_id, replica)``.
+    """
+
+    def __init__(
+        self, backend_ids: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._points: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        self._backends: Dict[str, Tuple[int, ...]] = {}
+        for backend_id in backend_ids:
+            self.add(backend_id)
+
+    # -- membership ---------------------------------------------------
+
+    def add(self, backend_id: str) -> None:
+        """Place ``replicas`` virtual nodes for ``backend_id`` on the ring."""
+        if not backend_id:
+            raise ValueError("backend_id must be non-empty")
+        if backend_id in self._backends:
+            raise ValueError(f"backend {backend_id!r} already on the ring")
+        positions = tuple(
+            _hash64(f"{backend_id}#{replica}") for replica in range(self.replicas)
+        )
+        self._backends[backend_id] = positions
+        self._points.extend((position, backend_id) for position in positions)
+        # Ties between distinct backends at the same 64-bit position are
+        # broken by backend id so the ring order never depends on
+        # insertion order.
+        self._points.sort()
+        self._hashes = [position for position, _ in self._points]
+
+    def remove(self, backend_id: str) -> None:
+        """Remove every virtual node of ``backend_id`` from the ring."""
+        if backend_id not in self._backends:
+            raise KeyError(f"backend {backend_id!r} not on the ring")
+        del self._backends[backend_id]
+        self._points = [
+            (position, owner) for position, owner in self._points
+            if owner != backend_id
+        ]
+        self._hashes = [position for position, _ in self._points]
+
+    # -- lookup -------------------------------------------------------
+
+    @property
+    def backend_ids(self) -> Tuple[str, ...]:
+        """Current membership, sorted (not ring order)."""
+        return tuple(sorted(self._backends))
+
+    def __len__(self) -> int:
+        return len(self._backends)
+
+    def __contains__(self, backend_id: str) -> bool:
+        return backend_id in self._backends
+
+    def owner(self, key: str) -> str:
+        """The backend owning ``key`` (a graph fingerprint)."""
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        index = bisect_right(self._hashes, _hash64(key)) % len(self._points)
+        return self._points[index][1]
+
+    def successors(self, key: str) -> Tuple[str, ...]:
+        """All backends in ring order starting at ``key``'s owner.
+
+        The first element is :meth:`owner`; the rest is the failover
+        chain.  Every backend appears exactly once.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        start = bisect_right(self._hashes, _hash64(key)) % len(self._points)
+        seen: Dict[str, None] = {}
+        total = len(self._points)
+        for offset in range(total):
+            backend_id = self._points[(start + offset) % total][1]
+            if backend_id not in seen:
+                seen[backend_id] = None
+                if len(seen) == len(self._backends):
+                    break
+        return tuple(seen)
+
+    def ownership(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Map each key to its owner — the membership-change test probe."""
+        return {key: self.owner(key) for key in keys}
+
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Count of ``keys`` owned per backend (all backends included)."""
+        counts = {backend_id: 0 for backend_id in self._backends}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

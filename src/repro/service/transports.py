@@ -58,11 +58,16 @@ def serve_stream(
     """The shared serve loop: pipelined JSON lines, responses in input order.
 
     Requests are submitted as soon as they parse (the pool works ahead)
-    while completed responses drain in submission order.  A parse failure
-    flushes everything in flight first, so its ``ok=false`` response still
-    lands in the right place.  Control lines (``{"op": "health"}``,
-    ``{"op": "metrics"}``) are answered in place, outside the solve-request
-    count.  Returns the number of requests seen.
+    while completed responses drain in submission order.  Draining is
+    *eager*: a completion callback flushes ready responses the moment the
+    head-of-line future finishes, even while the loop is blocked reading
+    the next input line — so a client may hold the connection open and
+    await each reply before sending its next request (the cluster
+    router's pooled persistent connections do exactly this).  A parse
+    failure flushes everything in flight first, so its ``ok=false``
+    response still lands in the right place.  Control lines
+    (``{"op": "health"}``, ``{"op": "metrics"}``) are answered in place,
+    outside the solve-request count.  Returns the number of requests seen.
 
     A client that vanishes mid-stream (reset, half-close, broken pipe)
     does not raise out of the loop: reading stops, writes become no-ops,
@@ -73,19 +78,36 @@ def serve_stream(
     count = 0
     pending: deque = deque()
     client_gone = False
+    # Writes happen from this loop *and* from completion callbacks on
+    # worker threads; the lock keeps lines whole and in pending order.
+    lock = threading.RLock()
 
     def _write(line: str) -> None:
         nonlocal client_gone
-        if client_gone:
-            return
-        try:
-            write(line)
-        except OSError:
-            client_gone = True
+        with lock:
+            if client_gone:
+                return
+            try:
+                write(line)
+            except OSError:
+                client_gone = True
+
+    def _pump(_future=None) -> None:
+        # Flush, in submission order, every head-of-line response whose
+        # future is already done.  Runs inline and as a done-callback.
+        with lock:
+            while pending and pending[0].done():
+                _write(pending.popleft().result().to_json_line())
 
     def _drain(block: bool) -> None:
-        while pending and (block or pending[0].done()):
-            _write(pending.popleft().result().to_json_line())
+        _pump()
+        while block:
+            with lock:
+                head = pending[0] if pending else None
+            if head is None:
+                return
+            head.result()  # wait off-lock; whoever pumps next writes it
+            _pump()
 
     def _error_line(line_number: int, exc: ProtocolError) -> None:
         # Keep input order: flush everything in flight, then report.
@@ -128,8 +150,13 @@ def serve_stream(
             except ProtocolError as exc:
                 _error_line(line_number, exc)
                 continue
-            pending.append(service.submit(spec))
-            _drain(block=False)
+            try:
+                future = service.submit(spec)
+            except RuntimeError:
+                break  # service closed under us (shutdown race): stop reading
+            with lock:
+                pending.append(future)
+            future.add_done_callback(_pump)
     except OSError:
         client_gone = True  # the *read* side died mid-stream
     _drain(block=True)
@@ -247,6 +274,14 @@ class TcpTransport(Transport):
             raise RuntimeError("transport is not serving")
         host, port = self._server.server_address[:2]
         return str(host), int(port)
+
+    @property
+    def bound_port(self) -> int:
+        """The actual bound port — resolves ``port=0`` to the ephemeral
+        port the OS picked (valid once serving has started).  The cluster
+        backend spawner and tests read this instead of parsing
+        :attr:`address`."""
+        return self.address[1]
 
     def _bind(self, service: SolveService) -> "_LineServer":
         if self._server is not None:

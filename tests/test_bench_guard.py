@@ -396,3 +396,94 @@ class TestObsSection:
         assert summary["obs_warm_path_overhead_pct"] == 1.2
         assert summary["obs_identity"] is True
         assert summary["obs_trace_spans"] == 7
+
+
+class TestClusterSection:
+    """PR 10's 'cluster' section: append-only rules and the recorded
+    trajectory (routed byte identity, failover, warm-shard hit rate, and
+    the honestly-gated process-vs-thread retry)."""
+
+    def test_cluster_section_appends_and_is_guarded(self, tmp_path):
+        output = tmp_path / "bench.json"
+        write_report(output, {"obs": {"v": 9}, "summary": {"a": 1}}, force=False)
+        write_report(
+            output,
+            {
+                "cluster": {"identity": {"identical": True}},
+                "summary": {"cluster_identity": True},
+            },
+            force=False,
+        )
+        with pytest.raises(SectionExistsError):
+            write_report(
+                output, {"cluster": {"identity": {"identical": False}}}, force=False
+            )
+        data = json.loads(output.read_text(encoding="utf-8"))
+        assert data["cluster"] == {"identity": {"identical": True}}
+        assert data["summary"] == {"a": 1, "cluster_identity": True}
+
+    def test_repo_trajectory_records_the_cluster_section(self):
+        data = json.loads(
+            (REPO_ROOT / "BENCH_kernel.json").read_text(encoding="utf-8")
+        )
+        assert "cluster" in data
+        section = data["cluster"]
+        # the PR 10 acceptance: routed == direct for every registered
+        # solver on both executors, survivors byte-identical after a
+        # mid-batch kill, repeats answered at the router tier
+        from repro.core.engine import available_solvers
+
+        assert section["identity"]["identical"] is True
+        assert set(section["identity"]["solvers"]) == set(available_solvers())
+        assert set(section["identity"]["executors"]) == {"thread", "process"}
+        assert section["failover"]["survivors_identical"] is True
+        assert section["failover"]["reroutes"] >= 1
+        assert section["store"]["repeat_hit"] is True
+        assert section["store"]["identical"] is True
+        # the warm-shard workload: repeat rounds must hit their shard's
+        # warm session (1 cold miss then warm hits per graph per shard)
+        throughput = section["throughput"]
+        assert throughput["three_backend"]["warm_hit_rate"] >= 0.5
+        assert throughput["one_backend"]["requests"] == throughput[
+            "three_backend"
+        ]["requests"]
+        # the hardware context is recorded honestly, and the re-attempted
+        # process-vs-thread row is gated on it rather than faked
+        assert throughput["cpu_count"] >= 1
+        retry = section["process_vs_thread_retry"]
+        assert retry["cpu_count"] == throughput["cpu_count"]
+        assert retry["target"] == 1.8
+        if retry["attempted"]:
+            assert "speedup" in retry
+        else:
+            assert retry["cpu_count"] < 2 and "reason" in retry
+        # earlier sections are untouched history
+        assert {"decomposition", "engine", "kernel_v2", "world", "obs"} <= set(data)
+        assert data["summary"]["cluster_identity"] is True
+        assert data["summary"]["cluster_failover_identical"] is True
+
+    def test_merge_cluster_summary(self):
+        report = {
+            "cluster": {
+                "summary": {
+                    "identity": True,
+                    "failover_identical": True,
+                    "store_repeat_hit": True,
+                    "warm_session_hit_rate": 0.75,
+                    "three_vs_one_throughput": 1.1,
+                    "cpu_count": 1,
+                    "process_retry_attempted": False,
+                    "process_retry_speedup": None,
+                }
+            },
+            "summary": {},
+        }
+        bench_kernel.merge_cluster_summary(report)
+        summary = report["summary"]
+        assert summary["cluster_identity"] is True
+        assert summary["cluster_failover_identical"] is True
+        assert summary["cluster_store_repeat_hit"] is True
+        assert summary["cluster_warm_session_hit_rate"] == 0.75
+        assert summary["cluster_three_vs_one_throughput"] == 1.1
+        assert summary["cluster_cpu_count"] == 1
+        assert summary["cluster_process_retry_attempted"] is False
